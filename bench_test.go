@@ -1,0 +1,83 @@
+// Package repro's root benchmarks regenerate the paper's tables and
+// figures under `go test -bench` (quick mode: reduced sizes and
+// repetition counts so a full -bench=. pass stays tractable; run
+// cmd/paperbench for the paper-scale versions). One benchmark per
+// table/figure, as indexed in DESIGN.md.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment[T any](b *testing.B, run func(*experiments.Context) (T, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.New(io.Discard, true)
+		if _, err := run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (compressed image sizes for the
+// six codecs).
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Table1)
+}
+
+// BenchmarkTable2 regenerates Table 2 (frame rates NASA→UCD, X vs
+// compression).
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Table2)
+}
+
+// BenchmarkFig6 regenerates Figure 6 (overall time vs partition count
+// for P = 16, 32, 64).
+func BenchmarkFig6(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Fig6)
+}
+
+// BenchmarkFig7 regenerates Figure 7 (start-up latency, overall time,
+// inter-frame delay vs partitions at P = 32).
+func BenchmarkFig7(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Fig7)
+}
+
+// BenchmarkFig8 regenerates Figure 8 (per-frame transfer time
+// NASA→UCD, X vs compression).
+func BenchmarkFig8(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Fig8)
+}
+
+// BenchmarkFig9 regenerates Figure 9 (render vs display breakdown on
+// 16 O2K processors).
+func BenchmarkFig9(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Fig9)
+}
+
+// BenchmarkFig10 regenerates Figure 10 (decompression time vs number
+// of parallel-compression pieces).
+func BenchmarkFig10(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Fig10)
+}
+
+// BenchmarkFig11 regenerates Figure 11 (per-frame display time
+// RWCP Japan→UCD, X vs daemon).
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Fig11)
+}
+
+// BenchmarkDatasets regenerates the §6 dataset contrasts (vortex
+// transport-bound, mixing render-bound).
+func BenchmarkDatasets(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Datasets)
+}
+
+// BenchmarkHybrid regenerates the hybrid parallel-compression sweep
+// (extension experiment).
+func BenchmarkHybrid(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Hybrid)
+}

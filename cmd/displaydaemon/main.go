@@ -1,0 +1,43 @@
+// Command displaydaemon runs the paper's display daemon: it relays
+// compressed images from render servers to display clients and routes
+// user-control messages back.
+//
+//	displaydaemon -listen 127.0.0.1:7420
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7420", "listen address")
+	buffer := flag.Int("buffer", 8, "per-display image buffer depth")
+	verbose := flag.Bool("v", false, "log connections and drops")
+	flag.Parse()
+
+	d, err := transport.ListenAndServe(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "displaydaemon:", err)
+		os.Exit(1)
+	}
+	d.BufferFrames = *buffer
+	if *verbose {
+		d.Logf = log.Printf
+	}
+	fmt.Printf("display daemon listening on %s\n", d.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := d.Stats()
+	fmt.Printf("\nforwarded %d images (%d bytes), dropped %d, routed %d controls\n",
+		st.ImagesForwarded.Load(), st.BytesForwarded.Load(),
+		st.ImagesDropped.Load(), st.ControlsRouted.Load())
+	d.Close()
+}

@@ -1,0 +1,67 @@
+// Command paperbench regenerates the paper's tables and figures.
+//
+//	paperbench                 # run every experiment at paper scale
+//	paperbench -exp table1     # one experiment
+//	paperbench -quick          # reduced sizes/links for a fast pass
+//
+// Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
+// datasets, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,all)")
+	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
+	flag.Parse()
+
+	ctx := experiments.New(os.Stdout, *quick)
+	runners := map[string]func() error{
+		"table1":   wrap(ctx.Table1),
+		"table2":   wrap(ctx.Table2),
+		"fig6":     wrap(ctx.Fig6),
+		"fig7":     wrap(ctx.Fig7),
+		"fig8":     wrap(ctx.Fig8),
+		"fig9":     wrap(ctx.Fig9),
+		"fig10":    wrap(ctx.Fig10),
+		"fig11":    wrap(ctx.Fig11),
+		"datasets": wrap(ctx.Datasets),
+		"hybrid":   wrap(ctx.Hybrid),
+		"trace":    wrap(ctx.Trace),
+	}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace"}
+
+	var todo []string
+	switch *exp {
+	case "all":
+		todo = order
+	default:
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (have %s, all)\n",
+				*exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		todo = []string{*exp}
+	}
+	for _, name := range todo {
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// wrap adapts the typed experiment runners to a uniform signature.
+func wrap[T any](f func() (T, error)) func() error {
+	return func() error {
+		_, err := f()
+		return err
+	}
+}

@@ -1,0 +1,98 @@
+// Command viewer is the display client: it connects to the display
+// daemon, decompresses and assembles incoming frames, reports the
+// displayed frame rate, optionally saves frames as PNGs, and can send
+// user-control messages to the render server.
+//
+//	viewer -daemon 127.0.0.1:7420 -save frames/ -frames 30
+//	viewer -daemon 127.0.0.1:7420 -colormap vortex -codec jpeg+bzip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/control"
+	"repro/internal/display"
+	"repro/internal/tf"
+	"repro/internal/transport"
+)
+
+func main() {
+	daemon := flag.String("daemon", "127.0.0.1:7420", "display daemon address")
+	save := flag.String("save", "", "directory to write received frames as PNG")
+	frames := flag.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
+	colormap := flag.String("colormap", "", "send a colormap change (jet, vortex, mixing, gray)")
+	codec := flag.String("codec", "", "send a codec change")
+	azimuth := flag.Float64("azimuth", 0, "send a view change with this azimuth (rad)")
+	elevation := flag.Float64("elevation", 0, "view elevation (rad)")
+	distance := flag.Float64("distance", 0, "view distance (x volume diagonal); 0 = no view change")
+	stride := flag.Int("stride", 0, "send a preview-mode stride (render every k-th step; 0 = no change)")
+	flag.Parse()
+
+	ep, err := transport.Dial(*daemon, transport.RoleDisplay, nil)
+	if err != nil {
+		fatal(err)
+	}
+	v := display.NewViewer(ep)
+	defer v.Close()
+
+	if *colormap != "" {
+		t, err := tf.Preset(*colormap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := v.SendControl(control.ColormapMsg(t)); err != nil {
+			fatal(err)
+		}
+	}
+	if *codec != "" {
+		if err := v.SendControl(control.CodecMsg(*codec)); err != nil {
+			fatal(err)
+		}
+	}
+	if *distance > 0 {
+		ev := control.ViewEvent{Azimuth: *azimuth, Elevation: *elevation, Distance: *distance}
+		if err := v.SendControl(control.ViewMsg(ev)); err != nil {
+			fatal(err)
+		}
+	}
+	if *stride > 0 {
+		if err := v.SendControl(control.StrideMsg(*stride)); err != nil {
+			fatal(err)
+		}
+	}
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	n := 0
+	for fr := range v.Frames() {
+		n++
+		fmt.Printf("frame %4d: %dx%d, %6d bytes in %d pieces, decode %v\n",
+			fr.ID, fr.Image.W, fr.Image.H, fr.Bytes, fr.Pieces, fr.DecodeTime)
+		if *save != "" {
+			path := filepath.Join(*save, fmt.Sprintf("frame_%05d.png", fr.ID))
+			if err := fr.Image.SavePNG(path); err != nil {
+				fatal(err)
+			}
+		}
+		if *frames > 0 && n >= *frames {
+			break
+		}
+	}
+	if err := v.Err(); err != nil {
+		fatal(err)
+	}
+	st := v.Stats()
+	fmt.Printf("received %d frames (%.2f fps, %d bytes, decode total %v)\n",
+		st.Frames, st.FPS(), st.Bytes, st.DecodeTime)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "viewer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces Ma & Camp, "High Performance Visualization
+// of Time-Varying Volume Data over a Wide-Area Network" (SC 2000): a
+// parallel pipelined volume renderer with processor grouping,
+// binary-swap compositing, a compression-based image-transport
+// framework (display daemon + renderer/display interfaces), and the
+// paper's full evaluation regenerated as benchmarks.
+//
+// The root package carries the repository-level benchmark harness
+// (bench_test.go, one benchmark per table/figure) and the end-to-end
+// CLI integration test; the system itself lives under internal/ (see
+// DESIGN.md for the inventory) with executables under cmd/ and
+// runnable examples under examples/.
+package repro

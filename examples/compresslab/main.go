@@ -1,0 +1,82 @@
+// Compresslab: compares the six image codecs of the paper's Table 1
+// on real rendered frames from all three datasets, reporting size,
+// encode/decode times and PSNR — the data a deployment would use to
+// pick a codec for a given link.
+//
+//	go run ./examples/compresslab
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/compress/codecs"
+	"repro/internal/datagen"
+	"repro/internal/img"
+	"repro/internal/metrics"
+	"repro/internal/render"
+	"repro/internal/tf"
+)
+
+func main() {
+	const size = 256
+	all, err := codecs.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"jet", "vortex"} {
+		gen, err := datagen.ByName(name, 0.5, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := gen.Step(5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tfn, err := tf.Preset(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cam, err := render.NewOrbitCamera(v.Dims, 0.6, 0.35, 1.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, _, err := render.Render(v, cam, tfn, render.DefaultOptions(), size, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frame := im.ToFrame(0)
+
+		fmt.Printf("dataset %s, %dx%d frame (%d raw bytes)\n", name, size, size, len(frame.Pix))
+		t := metrics.NewTable("codec", "bytes", "ratio", "encode", "decode", "psnr(dB)")
+		for _, c := range all {
+			t0 := time.Now()
+			data, err := c.EncodeFrame(frame)
+			if err != nil {
+				log.Fatal(err)
+			}
+			enc := time.Since(t0)
+			t0 = time.Now()
+			back, err := c.DecodeFrame(data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dec := time.Since(t0)
+			psnr, err := img.PSNR(frame, back)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ps := "inf"
+			if !math.IsInf(psnr, 1) {
+				ps = fmt.Sprintf("%.1f", psnr)
+			}
+			t.Row(c.Name(), fmt.Sprint(len(data)),
+				fmt.Sprintf("%.4f", float64(len(data))/float64(len(frame.Pix))),
+				enc.Round(time.Microsecond).String(), dec.Round(time.Microsecond).String(), ps)
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+}

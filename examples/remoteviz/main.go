@@ -1,0 +1,67 @@
+// Remoteviz: the complete end-to-end system of the paper in one
+// process — display daemon, parallel render server (8 nodes, 2
+// pipeline groups, JPEG+LZO parallel compression), and a viewer, with
+// the server's connection shaped to the NASA-Ames-to-UC-Davis link
+// profile. Mid-stream it pushes a colormap change through the
+// user-control path, then reports the achieved frame rate.
+//
+//	go run ./examples/remoteviz
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/tf"
+	"repro/internal/volio"
+	"repro/internal/wan"
+)
+
+func main() {
+	const steps = 12
+	store := volio.NewGenStore(datagen.NewJetScaled(0.5, steps))
+
+	sess, err := core.StartSession(store, core.SessionOptions{
+		Server: core.ServerOptions{
+			P: 8, L: 2,
+			ImageW: 256, ImageH: 256,
+			Codec:  "jpeg+lzo",
+			Pieces: 4, // parallel compression: 4 sub-images per frame
+			TF:     tf.Jet(),
+			Steps:  steps,
+		},
+		Link: wan.NASAUCD(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	fmt.Printf("streaming %d frames over the %s link profile...\n", steps, "nasa-ucd")
+	n := 0
+	for fr := range sess.Viewer.Frames() {
+		n++
+		fmt.Printf("frame %2d: %d compressed bytes in %d pieces, decode %v\n",
+			fr.ID, fr.Bytes, fr.Pieces, fr.DecodeTime)
+		if n == steps/2 {
+			// User control: switch the colormap mid-stream. Frames in
+			// flight are unaffected; later ones pick it up.
+			fmt.Println("-> sending colormap change (remote callback)")
+			if err := sess.Viewer.SendControl(control.ColormapMsg(tf.Vortex())); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if n == steps {
+			break
+		}
+	}
+	if err := sess.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	st := sess.Viewer.Stats()
+	fmt.Printf("displayed %d frames at %.2f fps (%d bytes total)\n",
+		st.Frames, st.FPS(), st.Bytes)
+}

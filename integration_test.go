@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandLineIntegration builds the real binaries and runs the
+// full deployment the README describes: displaydaemon + renderserver +
+// viewer as separate processes over loopback TCP, saving received
+// frames to disk. Skipped with -short.
+func TestCommandLineIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"displaydaemon", "renderserver", "viewer", "volgen"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+
+	// Pick a free port for the daemon.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemon := exec.Command(bins["displaydaemon"], "-listen", addr)
+	daemonOut := &strings.Builder{}
+	daemon.Stdout, daemon.Stderr = daemonOut, daemonOut
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	if err := waitListening(addr, 10*time.Second); err != nil {
+		t.Fatalf("daemon never listened: %v\n%s", err, daemonOut)
+	}
+
+	// volgen writes a small dataset file; renderserver streams it.
+	dataset := filepath.Join(dir, "jet.tvv")
+	if b, err := exec.Command(bins["volgen"], "-dataset", "jet", "-scale", "0.12", "-steps", "3", "-o", dataset).CombinedOutput(); err != nil {
+		t.Fatalf("volgen: %v\n%s", err, b)
+	}
+
+	server := exec.Command(bins["renderserver"],
+		"-daemon", addr, "-dataset", dataset, "-steps", "3",
+		"-p", "2", "-l", "1", "-size", "64", "-codec", "jpeg+lzo", "-loop")
+	serverOut := &strings.Builder{}
+	server.Stdout, server.Stderr = serverOut, serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+
+	frames := filepath.Join(dir, "frames")
+	viewer := exec.Command(bins["viewer"], "-daemon", addr, "-frames", "3", "-save", frames)
+	viewerBytes, err := viewer.CombinedOutput()
+	if err != nil {
+		t.Fatalf("viewer: %v\nviewer: %s\nserver: %s\ndaemon: %s", err, viewerBytes, serverOut, daemonOut)
+	}
+	if !strings.Contains(string(viewerBytes), "received 3 frames") {
+		t.Fatalf("viewer output:\n%s", viewerBytes)
+	}
+	saved, err := filepath.Glob(filepath.Join(frames, "*.png"))
+	if err != nil || len(saved) == 0 {
+		t.Fatalf("no PNG frames saved (%v): %v", err, saved)
+	}
+	for _, p := range saved {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("bad frame file %s: %v", p, err)
+		}
+	}
+}
+
+func waitListening(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for %s", addr)
+}

@@ -1,0 +1,114 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vol"
+)
+
+func ident(v float32) float32 { return v }
+
+func TestBuildCellCounts(t *testing.T) {
+	v := vol.MustNew(vol.Dims{NX: 17, NY: 8, NZ: 9})
+	g, err := Build(v, [3]int{0, 0, 0}, ident, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny, nz := g.Cells()
+	if nx != 3 || ny != 1 || nz != 2 {
+		t.Fatalf("cells %d %d %d", nx, ny, nz)
+	}
+	if g.CellSize() != 8 {
+		t.Fatal("cell size")
+	}
+	// Default cell size applies for 0.
+	g2, err := Build(v, [3]int{0, 0, 0}, ident, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.CellSize() != DefaultCellSize {
+		t.Fatalf("default cell size %d", g2.CellSize())
+	}
+}
+
+func TestRangeCoversInterpolation(t *testing.T) {
+	// A spike at a cell-boundary grid point must appear in BOTH
+	// adjacent cells' ranges (interpolation support crosses the
+	// boundary).
+	v := vol.MustNew(vol.Dims{NX: 16, NY: 16, NZ: 16})
+	v.Fill(func(x, y, z int) float32 {
+		if x == 8 && y == 4 && z == 4 {
+			return 1
+		}
+		return 0
+	})
+	g, err := Build(v, [3]int{0, 0, 0}, ident, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell containing x=8 (second cell) and the cell before it.
+	_, hi1, ok := g.Range(8.1, 4, 4)
+	if !ok || hi1 != 1 {
+		t.Fatalf("own cell max %v ok=%v", hi1, ok)
+	}
+	_, hi0, ok := g.Range(7.9, 4, 4)
+	if !ok || hi0 != 1 {
+		t.Fatalf("border cell max %v ok=%v — interpolation support not covered", hi0, ok)
+	}
+	// A far cell stays empty.
+	lo, hi, ok := g.Range(1, 12, 12)
+	if !ok || lo != 0 || hi != 0 {
+		t.Fatalf("far cell [%v,%v] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestRangeOutside(t *testing.T) {
+	v := vol.MustNew(vol.Dims{NX: 8, NY: 8, NZ: 8})
+	g, err := Build(v, [3]int{10, 10, 10}, ident, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := g.Range(5, 5, 5); ok {
+		t.Fatal("point before origin accepted")
+	}
+	if _, _, ok := g.Range(100, 12, 12); ok {
+		t.Fatal("point past extent accepted")
+	}
+	if _, _, ok := g.Range(12, 12, 12); !ok {
+		t.Fatal("interior point rejected")
+	}
+}
+
+func TestCellExitAdvances(t *testing.T) {
+	v := vol.MustNew(vol.Dims{NX: 32, NY: 32, NZ: 32})
+	g, err := Build(v, [3]int{0, 0, 0}, ident, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ray along +x starting at x=1: first cell [0,8) exits at x=8,
+	// i.e. t=7.
+	exit := g.CellExit(1, 4, 4, 1, 0, 0, 0)
+	if math.Abs(exit-7) > 1e-9 {
+		t.Fatalf("exit = %v, want 7", exit)
+	}
+	// Diagonal ray: exit at the nearest face.
+	exit = g.CellExit(1, 1, 1, 1, 1, 1, 0)
+	if math.Abs(exit-7) > 1e-9 {
+		t.Fatalf("diagonal exit = %v, want 7", exit)
+	}
+	// Negative direction.
+	exit = g.CellExit(9, 4, 4, -1, 0, 0, 0)
+	if math.Abs(exit-1) > 1e-9 {
+		t.Fatalf("negative exit = %v, want 1", exit)
+	}
+	// Exit must be monotone: repeated stepping crosses all cells.
+	tcur := 0.0
+	for i := 0; i < 3; i++ {
+		next := g.CellExit(0.5, 4, 4, 1, 0, 0, tcur)
+		if next <= tcur {
+			t.Fatalf("exit not advancing at %v", tcur)
+		}
+		tcur = next + 1e-6
+	}
+}

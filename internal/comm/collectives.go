@@ -1,0 +1,73 @@
+package comm
+
+import "fmt"
+
+// Collective operations over a communicator. All members must call the
+// same collective with the same root and tag; tags namespace
+// concurrent collectives on a shared world, like the point-to-point
+// primitives.
+
+// Bcast distributes root's payload to every rank and returns it
+// (including at the root). nbytes accounts traffic per delivery.
+func (c *Comm) Bcast(root, tag int, payload any, nbytes int) any {
+	if c.rank == root {
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst != root {
+				c.Send(dst, tag, payload, nbytes)
+			}
+		}
+		return payload
+	}
+	got, _ := c.Recv(root, tag)
+	return got
+}
+
+// Gather collects every rank's payload at root, indexed by rank; other
+// ranks receive nil.
+func (c *Comm) Gather(root, tag int, payload any, nbytes int) []any {
+	if c.rank != root {
+		c.Send(root, tag, payload, nbytes)
+		return nil
+	}
+	out := make([]any, c.Size())
+	out[root] = payload
+	for src := 0; src < c.Size(); src++ {
+		if src != root {
+			out[src], _ = c.Recv(src, tag)
+		}
+	}
+	return out
+}
+
+// Scatter delivers parts[i] to rank i from root and returns this
+// rank's part. Only root's parts argument is consulted; it must have
+// exactly Size() entries there.
+func (c *Comm) Scatter(root, tag int, parts []any, nbytes int) (any, error) {
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("comm: scatter with %d parts for %d ranks", len(parts), c.Size())
+		}
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst != root {
+				c.Send(dst, tag, parts[dst], nbytes)
+			}
+		}
+		return parts[root], nil
+	}
+	got, _ := c.Recv(root, tag)
+	return got, nil
+}
+
+// AllReduce combines every rank's float64 contribution with op
+// (gather-to-0 then broadcast) and returns the result on every rank.
+func (c *Comm) AllReduce(tag int, value float64, op func(a, b float64) float64) float64 {
+	parts := c.Gather(0, tag, value, 8)
+	if c.rank == 0 {
+		acc := parts[0].(float64)
+		for _, p := range parts[1:] {
+			acc = op(acc, p.(float64))
+		}
+		return c.Bcast(0, tag+1, acc, 8).(float64)
+	}
+	return c.Bcast(0, tag+1, nil, 8).(float64)
+}

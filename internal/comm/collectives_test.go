@@ -1,0 +1,127 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		var payload any
+		if c.Rank() == 2 {
+			payload = "the word"
+		}
+		got := c.Bcast(2, 10, payload, 8)
+		if got != "the word" {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		out := c.Gather(0, 20, c.Rank()*10, 4)
+		if c.Rank() != 0 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for i, v := range out {
+			if v != i*10 {
+				return fmt.Errorf("slot %d = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		var parts []any
+		if c.Rank() == 1 {
+			parts = []any{"a", "b", "c", "d"}
+		}
+		got, err := c.Scatter(1, 30, parts, 1)
+		if err != nil {
+			return err
+		}
+		want := string(rune('a' + c.Rank()))
+		if got != want {
+			return fmt.Errorf("rank %d got %v want %v", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongLength(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, 31, []any{"only one"}, 1); err == nil {
+				return fmt.Errorf("short parts accepted")
+			}
+			// Unblock the peer.
+			c.Send(1, 32, "x", 1)
+			return nil
+		}
+		c.Recv(0, 32)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const P = 6
+	err := Run(P, func(c *Comm) error {
+		sum := c.AllReduce(40, float64(c.Rank()+1), func(a, b float64) float64 { return a + b })
+		if sum != 21 { // 1+2+...+6
+			return fmt.Errorf("rank %d sum %v", c.Rank(), sum)
+		}
+		max := c.AllReduce(50, float64(c.Rank()), math.Max)
+		if max != P-1 {
+			return fmt.Errorf("rank %d max %v", c.Rank(), max)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesOnSubgroup(t *testing.T) {
+	err := Run(8, func(c *Comm) error {
+		gid := c.Rank() / 4
+		members := []int{gid * 4, gid*4 + 1, gid*4 + 2, gid*4 + 3}
+		g, err := c.Group(members)
+		if err != nil {
+			return err
+		}
+		tag := 100 + gid*10
+		got := g.Bcast(0, tag, fmt.Sprintf("group-%d", gid), 4)
+		want := fmt.Sprintf("group-%d", gid)
+		if gid == 1 && g.Rank() == 0 {
+			// non-root ranks received root's value; root passed its own.
+			want = "group-1"
+		}
+		if got != want {
+			return fmt.Errorf("world %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

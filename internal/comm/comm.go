@@ -1,0 +1,340 @@
+// Package comm is a small rank-addressed message-passing fabric — the
+// stand-in for the MPI layer the paper's renderer runs on. A World of
+// P ranks runs one goroutine per rank (SPMD); ranks exchange typed
+// messages over matched (source, tag) channels, synchronize with
+// barriers, and can be split into sub-communicators, which is how the
+// pipeline forms its L processor groups.
+//
+// Message payloads transfer ownership: the sender must not touch a
+// payload after Send. Byte volume is tracked per world for the
+// calibration measurements the discrete-event simulator consumes.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// ErrAborted is observed by ranks blocked in Recv or Barrier when the
+// world is aborted because another rank failed.
+var ErrAborted = errors.New("comm: world aborted")
+
+// abortPanic is the sentinel recovered by Run's rank wrappers.
+type abortPanic struct{}
+
+// message is one in-flight payload.
+type message struct {
+	tag     int
+	payload any
+	bytes   int
+}
+
+// mailbox carries messages from one specific sender to one receiver.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted *atomic.Bool
+}
+
+func newMailbox(aborted *atomic.Bool) *mailbox {
+	m := &mailbox{aborted: aborted}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// take blocks until a message with the given tag (or any, if
+// tag==AnyTag) is present and removes it, preserving FIFO order per
+// tag. If the world aborts while waiting, take panics with the abort
+// sentinel (recovered by Run).
+func (m *mailbox) take(tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted.Load() {
+			panic(abortPanic{})
+		}
+		for i, msg := range m.queue {
+			if tag == AnyTag || msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is a set of P ranks with all-pairs mailboxes.
+type World struct {
+	size int
+	// boxes[dst][src] is the mailbox for messages src -> dst.
+	boxes [][]*mailbox
+
+	barrier *barrier
+	aborted atomic.Bool
+
+	gbMu  sync.Mutex
+	gbars map[string]*barrier
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+	// bytesRecvBy[r] counts payload bytes received by world rank r —
+	// per-link traffic accounting for compositing ablations.
+	bytesRecvBy []atomic.Int64
+}
+
+// NewWorld creates a P-rank world.
+func NewWorld(p int) (*World, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: world size %d < 1", p)
+	}
+	w := &World{size: p}
+	w.barrier = newBarrier(p, &w.aborted)
+	w.bytesRecvBy = make([]atomic.Int64, p)
+	w.boxes = make([][]*mailbox, p)
+	for dst := range w.boxes {
+		w.boxes[dst] = make([]*mailbox, p)
+		for src := range w.boxes[dst] {
+			w.boxes[dst][src] = newMailbox(&w.aborted)
+		}
+	}
+	return w, nil
+}
+
+// Abort wakes every rank blocked in Recv or Barrier; they observe
+// ErrAborted. Called automatically by Run when a rank fails.
+func (w *World) Abort() {
+	w.aborted.Store(true)
+	for _, row := range w.boxes {
+		for _, mb := range row {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		}
+	}
+	w.barrier.broadcast()
+	w.gbMu.Lock()
+	for _, b := range w.gbars {
+		b.broadcast()
+	}
+	w.gbMu.Unlock()
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the total payload bytes sent so far.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the total message count so far.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// BytesReceivedBy returns the payload bytes received so far by a
+// world rank — the load on that node's incoming link.
+func (w *World) BytesReceivedBy(rank int) int64 {
+	if rank < 0 || rank >= len(w.bytesRecvBy) {
+		return 0
+	}
+	return w.bytesRecvBy[rank].Load()
+}
+
+// Comm is one rank's endpoint in a communicator (the world or a
+// subgroup). Rank numbering is local to the communicator.
+type Comm struct {
+	world *World
+	rank  int   // local rank
+	ranks []int // local rank -> world rank
+	bar   *barrier
+}
+
+// Rank returns this endpoint's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.world }
+
+// Send delivers payload with tag to local rank dst. nbytes is the
+// accounted payload size (for traffic statistics); pass 0 when the
+// size is irrelevant. Send never blocks.
+func (c *Comm) Send(dst, tag int, payload any, nbytes int) {
+	if dst < 0 || dst >= len(c.ranks) {
+		panic(fmt.Sprintf("comm: send to rank %d of %d", dst, len(c.ranks)))
+	}
+	wsrc, wdst := c.ranks[c.rank], c.ranks[dst]
+	c.world.bytesSent.Add(int64(nbytes))
+	c.world.msgsSent.Add(1)
+	c.world.boxes[wdst][wsrc].put(message{tag: tag, payload: payload, bytes: nbytes})
+}
+
+// Recv blocks until a message with the given tag arrives from local
+// rank src, and returns its payload and accounted size.
+func (c *Comm) Recv(src, tag int) (payload any, nbytes int) {
+	if src < 0 || src >= len(c.ranks) {
+		panic(fmt.Sprintf("comm: recv from rank %d of %d", src, len(c.ranks)))
+	}
+	wsrc, wdst := c.ranks[src], c.ranks[c.rank]
+	msg := c.world.boxes[wdst][wsrc].take(tag)
+	c.world.bytesRecvBy[wdst].Add(int64(msg.bytes))
+	return msg.payload, msg.bytes
+}
+
+// SendRecv exchanges payloads with a partner rank without deadlock
+// (sends are non-blocking, so plain Send+Recv suffices; provided for
+// readability at binary-swap call sites).
+func (c *Comm) SendRecv(partner, tag int, payload any, nbytes int) (got any, gotBytes int) {
+	c.Send(partner, tag, payload, nbytes)
+	return c.Recv(partner, tag)
+}
+
+// Barrier blocks until every rank of this communicator has entered.
+func (c *Comm) Barrier() { c.bar.await() }
+
+// Group creates a sub-communicator from world-local ranks of this
+// communicator. Every listed member must call Group with the same
+// list; each receives its endpoint via the returned constructor
+// applied to its member index. Non-members must not call it.
+//
+// Implementation note: sub-communicators share the world mailboxes, so
+// tags must not collide across concurrent groups; callers namespace
+// tags (the pipeline uses disjoint tag ranges per group).
+func (c *Comm) Group(members []int) (*Comm, error) {
+	idx := -1
+	ranks := make([]int, len(members))
+	for i, m := range members {
+		if m < 0 || m >= len(c.ranks) {
+			return nil, fmt.Errorf("comm: group member %d out of range", m)
+		}
+		ranks[i] = c.ranks[m]
+		if m == c.rank {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("comm: rank %d not in group %v", c.rank, members)
+	}
+	return &Comm{world: c.world, rank: idx, ranks: ranks, bar: c.world.groupBarrier(ranks)}, nil
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     int
+	aborted *atomic.Bool
+}
+
+func newBarrier(n int, aborted *atomic.Bool) *barrier {
+	b := &barrier{n: n, aborted: aborted}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		if b.aborted.Load() {
+			b.mu.Unlock()
+			panic(abortPanic{})
+		}
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+func (b *barrier) broadcast() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// groupBarrier returns a shared barrier for a set of world ranks,
+// keyed by the sorted rank list, so all members of one Group call get
+// the same barrier instance.
+func (w *World) groupBarrier(ranks []int) *barrier {
+	key := fmt.Sprint(ranks)
+	w.gbMu.Lock()
+	defer w.gbMu.Unlock()
+	if w.gbars == nil {
+		w.gbars = map[string]*barrier{}
+	}
+	if b, ok := w.gbars[key]; ok {
+		return b
+	}
+	b := newBarrier(len(ranks), &w.aborted)
+	w.gbars[key] = b
+	return b
+}
+
+// Run launches fn on every rank of a fresh world and waits for all to
+// return. When a rank fails, the world aborts: ranks blocked in Recv
+// or Barrier are woken and report ErrAborted; the first real error (by
+// rank order) is returned.
+func Run(p int, fn func(c *Comm) error) error {
+	w, err := NewWorld(p)
+	if err != nil {
+		return err
+	}
+	ranks := make([]int, p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(abortPanic); ok {
+						errs[r] = ErrAborted
+						return
+					}
+					panic(rec)
+				}
+			}()
+			c := &Comm{world: w, rank: r, ranks: ranks, bar: w.barrier}
+			errs[r] = fn(c)
+			if errs[r] != nil {
+				w.Abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	var aborted error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ErrAborted) {
+			return e
+		}
+		if e != nil && aborted == nil {
+			aborted = e
+		}
+	}
+	return aborted
+}

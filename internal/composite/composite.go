@@ -1,0 +1,288 @@
+// Package composite merges the partial images rendered by the nodes of
+// a processor group into the final frame — the "global image
+// compositing" stage of the paper's pipeline. The primary algorithm is
+// binary-swap compositing [Ma, Painter, Hansen, Krogh 1994]; a
+// direct-send compositor serves group sizes that are not powers of two
+// and as the correctness baseline in tests.
+package composite
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/comm"
+	"repro/internal/img"
+	"repro/internal/render"
+	"repro/internal/vol"
+)
+
+// VisibilityOrder returns a front-to-back permutation of boxes as seen
+// from eye. The boxes must tile a convex region by axis-aligned cuts
+// (any decomposition produced by vol.SplitKD qualifies): the order is
+// derived by recursively locating a separating plane and visiting the
+// eye's side first, which is correct for every ray simultaneously.
+func VisibilityOrder(boxes []vol.Box, eye render.Vec3) ([]int, error) {
+	idx := make([]int, len(boxes))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]int, 0, len(boxes))
+	if err := visitBSP(boxes, idx, eye, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func visitBSP(boxes []vol.Box, idx []int, eye render.Vec3, out *[]int) error {
+	if len(idx) <= 1 {
+		*out = append(*out, idx...)
+		return nil
+	}
+	axis, plane, ok := separatingPlane(boxes, idx)
+	if !ok {
+		return fmt.Errorf("composite: no separating plane for %d boxes — not a BSP decomposition", len(idx))
+	}
+	var lo, hi []int
+	for _, i := range idx {
+		if boxMax(boxes[i], axis) <= plane {
+			lo = append(lo, i)
+		} else {
+			hi = append(hi, i)
+		}
+	}
+	eyeC := [3]float64{eye.X, eye.Y, eye.Z}[axis]
+	near, far := lo, hi
+	if eyeC > float64(plane) {
+		near, far = hi, lo
+	}
+	if err := visitBSP(boxes, near, eye, out); err != nil {
+		return err
+	}
+	return visitBSP(boxes, far, eye, out)
+}
+
+func boxMin(b vol.Box, axis int) int { return [3]int{b.X0, b.Y0, b.Z0}[axis] }
+func boxMax(b vol.Box, axis int) int { return [3]int{b.X1, b.Y1, b.Z1}[axis] }
+
+// separatingPlane finds an axis and coordinate such that every box
+// lies entirely on one side, with both sides nonempty.
+func separatingPlane(boxes []vol.Box, idx []int) (axis, plane int, ok bool) {
+	for axis = 0; axis < 3; axis++ {
+		// Candidate planes: the max face of every box.
+		for _, i := range idx {
+			plane = boxMax(boxes[i], axis)
+			nLo, nHi, clean := 0, 0, true
+			for _, j := range idx {
+				switch {
+				case boxMax(boxes[j], axis) <= plane:
+					nLo++
+				case boxMin(boxes[j], axis) >= plane:
+					nHi++
+				default:
+					clean = false
+				}
+				if !clean {
+					break
+				}
+			}
+			if clean && nLo > 0 && nHi > 0 {
+				return axis, plane, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// piece is the exchange payload: a sub-image and its absolute region.
+type piece struct {
+	reg img.Region
+	im  *img.RGBA
+}
+
+func pieceBytes(p *img.RGBA) int { return len(p.Pix) * 4 }
+
+// BinarySwap composites the group's partial images. Every rank of c
+// calls it with its own full-size partial image im (the rendering of
+// boxes[rank] as seen by cam eye). The group size must be a power of
+// two. Each rank returns the screen region it owns after compositing
+// and the fully composited pixels of that region — ready for parallel
+// compression or for FinalGather.
+//
+// tagBase namespaces the exchange tags so concurrent groups sharing a
+// world do not cross-talk.
+func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, tagBase int) (img.Region, *img.RGBA, error) {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		return img.Region{}, nil, fmt.Errorf("composite: binary-swap needs power-of-two group, got %d", p)
+	}
+	if len(boxes) != p {
+		return img.Region{}, nil, fmt.Errorf("composite: %d boxes for %d ranks", len(boxes), p)
+	}
+	rank := c.Rank()
+	cur := piece{reg: img.Region{X0: 0, Y0: 0, X1: im.W, Y1: im.H}, im: im}
+	stages := bits.TrailingZeros(uint(p))
+	for s := 0; s < stages; s++ {
+		partner := rank ^ (1 << s)
+		lo, hi := img.SplitRegion(cur.reg)
+		keep, give := lo, hi
+		if rank&(1<<s) != 0 {
+			keep, give = hi, lo
+		}
+		keepIm, err := cur.im.SubRGBA(relRegion(keep, cur.reg))
+		if err != nil {
+			return img.Region{}, nil, err
+		}
+		giveIm, err := cur.im.SubRGBA(relRegion(give, cur.reg))
+		if err != nil {
+			return img.Region{}, nil, err
+		}
+		c.Send(partner, tagBase+s, giveIm, pieceBytes(giveIm))
+		got, _ := c.Recv(partner, tagBase+s)
+		theirs, ok := got.(*img.RGBA)
+		if !ok {
+			return img.Region{}, nil, fmt.Errorf("composite: unexpected payload %T", got)
+		}
+		if theirs.W != keepIm.W || theirs.H != keepIm.H {
+			return img.Region{}, nil, fmt.Errorf("composite: stage %d piece %dx%d != %dx%d", s, theirs.W, theirs.H, keepIm.W, keepIm.H)
+		}
+		front, err := iAmFront(boxes, rank, partner, s, eye)
+		if err != nil {
+			return img.Region{}, nil, err
+		}
+		if front {
+			if err := keepIm.Over(theirs); err != nil {
+				return img.Region{}, nil, err
+			}
+			cur = piece{reg: keep, im: keepIm}
+		} else {
+			if err := theirs.Over(keepIm); err != nil {
+				return img.Region{}, nil, err
+			}
+			cur = piece{reg: keep, im: theirs}
+		}
+	}
+	return cur.reg, cur.im, nil
+}
+
+// relRegion translates absolute screen region r into coordinates
+// relative to the piece covering base.
+func relRegion(r, base img.Region) img.Region {
+	return img.Region{X0: r.X0 - base.X0, Y0: r.Y0 - base.Y0, X1: r.X1 - base.X0, Y1: r.Y1 - base.Y0}
+}
+
+// iAmFront decides whether rank's subtree at stage s is in front of
+// partner's. The two subtrees are {ranks sharing bits above s, bit s
+// fixed}; under the recursive-bisection rank assignment their box
+// unions are separated by an axis plane.
+func iAmFront(boxes []vol.Box, rank, partner, s int, eye render.Vec3) (bool, error) {
+	mine := subtreeUnion(boxes, rank, s)
+	theirs := subtreeUnion(boxes, partner, s)
+	for axis := 0; axis < 3; axis++ {
+		eyeC := [3]float64{eye.X, eye.Y, eye.Z}[axis]
+		if boxMax(mine, axis) <= boxMin(theirs, axis) {
+			// mine is on the low side of the plane.
+			return eyeC < float64(boxMax(mine, axis)), nil
+		}
+		if boxMax(theirs, axis) <= boxMin(mine, axis) {
+			return eyeC > float64(boxMax(theirs, axis)), nil
+		}
+	}
+	return false, fmt.Errorf("composite: subtrees of ranks %d and %d not separated — boxes must come from recursive bisection in rank order", rank, partner)
+}
+
+// subtreeUnion returns the bounding box of the content rank r holds
+// entering stage s: the boxes of the 2^s ranks sharing r's bits at
+// position s and above.
+func subtreeUnion(boxes []vol.Box, r, s int) vol.Box {
+	mask := ^((1 << s) - 1)
+	base := r & mask
+	u := vol.Box{X0: 1 << 30, Y0: 1 << 30, Z0: 1 << 30, X1: -(1 << 30), Y1: -(1 << 30), Z1: -(1 << 30)}
+	for i := base; i < base+(1<<s) && i < len(boxes); i++ {
+		b := boxes[i]
+		if b.X0 < u.X0 {
+			u.X0 = b.X0
+		}
+		if b.Y0 < u.Y0 {
+			u.Y0 = b.Y0
+		}
+		if b.Z0 < u.Z0 {
+			u.Z0 = b.Z0
+		}
+		if b.X1 > u.X1 {
+			u.X1 = b.X1
+		}
+		if b.Y1 > u.Y1 {
+			u.Y1 = b.Y1
+		}
+		if b.Z1 > u.Z1 {
+			u.Z1 = b.Z1
+		}
+	}
+	return u
+}
+
+// FinalGather assembles the per-rank composited pieces into a full
+// frame at root. Every rank calls it with its piece from BinarySwap;
+// only root receives a non-nil image.
+func FinalGather(c *comm.Comm, reg img.Region, pc *img.RGBA, w, h, root, tag int) (*img.RGBA, error) {
+	if c.Rank() != root {
+		c.Send(root, tag, piece{reg: reg, im: pc}, pieceBytes(pc))
+		return nil, nil
+	}
+	out := img.NewRGBA(w, h)
+	if err := out.BlitRGBA(pc, reg); err != nil {
+		return nil, err
+	}
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			continue
+		}
+		got, _ := c.Recv(src, tag)
+		pp, ok := got.(piece)
+		if !ok {
+			return nil, fmt.Errorf("composite: gather payload %T", got)
+		}
+		if err := out.BlitRGBA(pp.im, pp.reg); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DirectSend composites by shipping every partial image to root, which
+// sorts them into visibility order and applies the over operator. It
+// works for any group size and serves as the correctness baseline for
+// BinarySwap. Only root returns a non-nil image.
+func DirectSend(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, root, tag int) (*img.RGBA, error) {
+	if len(boxes) != c.Size() {
+		return nil, fmt.Errorf("composite: %d boxes for %d ranks", len(boxes), c.Size())
+	}
+	if c.Rank() != root {
+		c.Send(root, tag, im, pieceBytes(im))
+		return nil, nil
+	}
+	parts := make([]*img.RGBA, c.Size())
+	parts[root] = im
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			continue
+		}
+		got, _ := c.Recv(src, tag)
+		p, ok := got.(*img.RGBA)
+		if !ok {
+			return nil, fmt.Errorf("composite: direct-send payload %T", got)
+		}
+		parts[src] = p
+	}
+	order, err := VisibilityOrder(boxes, eye)
+	if err != nil {
+		return nil, err
+	}
+	out := img.NewRGBA(im.W, im.H)
+	for _, i := range order {
+		if err := out.Over(parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+// Package bzp implements a bzip2-class block compressor from scratch:
+// Burrows–Wheeler transform (via a prefix-doubling suffix array),
+// move-to-front coding, zero-run-length coding (RUNA/RUNB, as in
+// bzip2), and canonical Huffman entropy coding. It trades speed for
+// ratio — the paper's BZIP role: "very good lossless compression,
+// better than gzip", used where the link, not the CPU, is the
+// bottleneck.
+package bzp
+
+// suffixArray computes the suffix array of s using prefix doubling
+// with stable counting (radix) sorts — O(n log n), robust on highly
+// repetitive input, which raw rotation sorting is not. A virtual
+// sentinel smaller than every byte terminates the string, so the
+// returned array has len(s)+1 entries with sa[0] == len(s).
+func suffixArray(s []byte) []int32 {
+	n := len(s) + 1
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	newRank := make([]int32, n)
+	tmp := make([]int32, n)
+	// Keys are ranks+1; initial ranks are byte values (up to 256), so
+	// the counting array must cover max(n, 257)+2 slots.
+	keyMax := int32(n)
+	if keyMax < 257 {
+		keyMax = 257
+	}
+	count := make([]int32, keyMax+2)
+	for i := 0; i < len(s); i++ {
+		sa[i] = int32(i)
+		rank[i] = int32(s[i]) + 1
+	}
+	sa[n-1] = int32(n - 1)
+	rank[n-1] = 0 // sentinel
+
+	// radixPass stably sorts src into dst by key(i) in [0, n+1].
+	radixPass := func(src, dst []int32, key func(int32) int32, keyMax int32) {
+		for i := int32(0); i <= keyMax+1; i++ {
+			count[i] = 0
+		}
+		for _, v := range src {
+			count[key(v)+1]++
+		}
+		for i := int32(1); i <= keyMax+1; i++ {
+			count[i] += count[i-1]
+		}
+		for _, v := range src {
+			k := key(v)
+			dst[count[k]] = v
+			count[k]++
+		}
+	}
+
+	for k := 1; ; k *= 2 {
+		kk := int32(k)
+		// Second key: rank[i+k]+1, or 0 past the end.
+		second := func(i int32) int32 {
+			if int(i)+k < n {
+				return rank[i+kk] + 1
+			}
+			return 0
+		}
+		first := func(i int32) int32 { return rank[i] }
+		radixPass(sa, tmp, second, keyMax)
+		radixPass(tmp, sa, first, keyMax)
+		newRank[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			prev, cur := sa[i-1], sa[i]
+			newRank[cur] = newRank[prev]
+			if rank[prev] != rank[cur] || second(prev) != second(cur) {
+				newRank[cur]++
+			}
+		}
+		copy(rank, newRank)
+		if int(rank[sa[n-1]]) == n-1 {
+			break
+		}
+	}
+	return sa
+}
+
+// bwt returns the Burrows–Wheeler transform of s and the primary
+// index (the output position of the sentinel's predecessor row, needed
+// to invert). The transform string has len(s) bytes: the sentinel
+// itself is omitted, its position recorded in primary.
+func bwt(s []byte) (out []byte, primary int) {
+	if len(s) == 0 {
+		return nil, 0
+	}
+	sa := suffixArray(s)
+	out = make([]byte, 0, len(s))
+	for i, pos := range sa {
+		if pos == 0 {
+			// Row starting at s[0]: its last column is the sentinel;
+			// skip it and remember where it was.
+			primary = i
+			continue
+		}
+		out = append(out, s[pos-1])
+	}
+	return out, primary
+}
+
+// unbwt inverts the transform given the primary index.
+func unbwt(t []byte, primary int) []byte {
+	n := len(t)
+	if n == 0 {
+		return nil
+	}
+	// Conceptually the first column is sort(sentinel + t). The
+	// sentinel occupies first-column row 0; transform rows at index >=
+	// primary correspond to suffix rows shifted by one because the
+	// sentinel row was removed from the output.
+	var count [256]int
+	for _, b := range t {
+		count[b]++
+	}
+	// first[b]: row in the first column where byte b starts (row 0 is
+	// the sentinel).
+	var first [256]int
+	sum := 1
+	for b := 0; b < 256; b++ {
+		first[b] = sum
+		sum += count[b]
+	}
+	// next[i] maps a first-column row to the first-column row of the
+	// following character. Build LF mapping from the transform.
+	next := make([]int32, n+1)
+	// The sentinel occupies last-column row `primary` and first-column
+	// row 0, so the row after the sentinel row is the primary row.
+	next[0] = int32(primary)
+	var seen [256]int
+	for i, b := range t {
+		// Transform index i corresponds to conceptual rotation row:
+		// rows >= primary are shifted down by one.
+		row := i
+		if i >= primary {
+			row = i + 1
+		}
+		next[first[b]+seen[b]] = int32(row)
+		seen[b]++
+	}
+	out := make([]byte, n)
+	// Start from row 0 (the sentinel row); its next is the row of
+	// s[0].
+	row := next[0]
+	for k := 0; k < n; k++ {
+		// The first character of a row is the byte whose first-column
+		// bucket contains it.
+		out[k] = firstByte(&first, int(row))
+		row = next[row]
+	}
+	return out
+}
+
+// firstByte returns the byte whose first-column bucket contains row.
+func firstByte(first *[256]int, row int) byte {
+	// Binary search over bucket starts.
+	lo, hi := 0, 255
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if first[mid] <= row {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return byte(lo)
+}

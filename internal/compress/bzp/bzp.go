@@ -1,0 +1,283 @@
+package bzp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec is the bzip2-class block codec. The zero value uses the
+// default block size.
+type Codec struct {
+	// BlockSize caps the bytes transformed per BWT block; 0 means the
+	// 256 KiB default.
+	BlockSize int
+}
+
+// Name implements compress.ByteCodec.
+func (Codec) Name() string { return "bzip" }
+
+const defaultBlockSize = 256 << 10
+
+// Symbol space of the post-MTF, zero-run-length stream: RUNA and RUNB
+// encode zero runs in bijective base 2 (as bzip2 does), values 1..255
+// shift up by one, and EOB terminates the block.
+const (
+	symRUNA   = 0
+	symRUNB   = 1
+	symShift  = 1 // MTF value v (>=1) becomes symbol v+symShift
+	symEOB    = 257
+	alphabet  = 258
+	headerLen = (alphabet + 1) / 2 // 4-bit code lengths, packed
+)
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("bzp: corrupt stream")
+
+// Compress implements compress.ByteCodec.
+func (c Codec) Compress(src []byte) ([]byte, error) {
+	bs := c.BlockSize
+	if bs <= 0 {
+		bs = defaultBlockSize
+	}
+	var out []byte
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(src)))
+	out = append(out, lenBuf[:n]...)
+	for len(src) > 0 {
+		blk := src
+		if len(blk) > bs {
+			blk = blk[:bs]
+		}
+		src = src[len(blk):]
+		out = appendBlock(out, blk)
+	}
+	return out, nil
+}
+
+func appendBlock(out, blk []byte) []byte {
+	t, primary := bwt(blk)
+	syms := rleEncode(mtfEncode(t))
+	syms = append(syms, symEOB)
+
+	freqs := make([]int, alphabet)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lens := buildCodeLengths(freqs)
+	codes := canonicalCodes(lens)
+
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(blk)))
+	out = append(out, lenBuf[:n]...)
+	n = binary.PutUvarint(lenBuf[:], uint64(primary))
+	out = append(out, lenBuf[:n]...)
+	// Packed 4-bit code lengths.
+	for i := 0; i < alphabet; i += 2 {
+		hi := lens[i]
+		lo := uint8(0)
+		if i+1 < alphabet {
+			lo = lens[i+1]
+		}
+		out = append(out, hi<<4|lo)
+	}
+	var bw bitWriter
+	for _, s := range syms {
+		bw.writeBits(codes[s], uint(lens[s]))
+	}
+	bw.flush()
+	n = binary.PutUvarint(lenBuf[:], uint64(len(bw.buf)))
+	out = append(out, lenBuf[:n]...)
+	return append(out, bw.buf...)
+}
+
+// Decompress implements compress.ByteCodec.
+func (Codec) Decompress(src []byte) ([]byte, error) {
+	total, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	if total > 1<<31 {
+		return nil, fmt.Errorf("bzp: implausible decompressed size %d", total)
+	}
+	src = src[n:]
+	out := make([]byte, 0, total)
+	for uint64(len(out)) < total {
+		var err error
+		out, src, err = decodeBlock(out, src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if uint64(len(out)) != total {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+func decodeBlock(out, src []byte) ([]byte, []byte, error) {
+	origLen, n := binary.Uvarint(src)
+	if n <= 0 || origLen == 0 || origLen > 1<<31 {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[n:]
+	primary, n := binary.Uvarint(src)
+	if n <= 0 || primary > origLen {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[n:]
+	if len(src) < headerLen {
+		return nil, nil, ErrCorrupt
+	}
+	lens := make([]uint8, alphabet)
+	for i := 0; i < alphabet; i += 2 {
+		b := src[i/2]
+		lens[i] = b >> 4
+		if i+1 < alphabet {
+			lens[i+1] = b & 0xf
+		}
+	}
+	src = src[headerLen:]
+	streamLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[n:]
+	if uint64(len(src)) < streamLen {
+		return nil, nil, ErrCorrupt
+	}
+	stream := src[:streamLen]
+	src = src[streamLen:]
+
+	dec, err := newHuffDecoder(lens)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := &bitReader{src: stream}
+	syms := make([]int, 0, origLen)
+	for {
+		s, err := dec.decodeSym(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s == symEOB {
+			break
+		}
+		syms = append(syms, s)
+		if uint64(len(syms)) > 2*origLen+64 {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	mtf, err := rleDecode(syms)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := mtfDecode(mtf)
+	if uint64(len(t)) != origLen {
+		return nil, nil, fmt.Errorf("bzp: block inflated to %d, want %d", len(t), origLen)
+	}
+	return append(out, unbwt(t, int(primary))...), src, nil
+}
+
+// mtfEncode applies move-to-front coding.
+func mtfEncode(src []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, b := range src {
+		var j int
+		for order[j] != b {
+			j++
+		}
+		out[i] = byte(j)
+		copy(order[1:j+1], order[:j])
+		order[0] = b
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(src []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, idx := range src {
+		b := order[idx]
+		out[i] = b
+		copy(order[1:int(idx)+1], order[:idx])
+		order[0] = b
+	}
+	return out
+}
+
+// rleEncode converts the MTF byte stream into run-length symbols: zero
+// runs become RUNA/RUNB digits in bijective base 2; nonzero values
+// shift up by one.
+func rleEncode(src []byte) []int {
+	out := make([]int, 0, len(src)/2+8)
+	run := 0
+	flush := func() {
+		for run > 0 {
+			if run&1 == 1 {
+				out = append(out, symRUNA)
+				run = (run - 1) / 2
+			} else {
+				out = append(out, symRUNB)
+				run = (run - 2) / 2
+			}
+		}
+	}
+	for _, b := range src {
+		if b == 0 {
+			run++
+			continue
+		}
+		flush()
+		out = append(out, int(b)+symShift)
+	}
+	flush()
+	return out
+}
+
+// rleDecode inverts rleEncode.
+func rleDecode(syms []int) ([]byte, error) {
+	var out []byte
+	run := uint64(0)
+	place := uint64(1)
+	flush := func() error {
+		if run > 1<<31 {
+			return ErrCorrupt
+		}
+		for i := uint64(0); i < run; i++ {
+			out = append(out, 0)
+		}
+		run = 0
+		place = 1
+		return nil
+	}
+	for _, s := range syms {
+		switch {
+		case s == symRUNA:
+			run += place
+			place *= 2
+		case s == symRUNB:
+			run += 2 * place
+			place *= 2
+		case s >= symShift+1 && s <= 255+symShift:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			out = append(out, byte(s-symShift))
+		default:
+			return nil, fmt.Errorf("bzp: bad symbol %d", s)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,335 @@
+package bzp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuffixArraySmall(t *testing.T) {
+	// "banana": suffixes of banana$ sorted:
+	// $ (6), a$ (5), ana$ (3), anana$ (1), banana$ (0), na$ (4), nana$ (2)
+	sa := suffixArray([]byte("banana"))
+	want := []int32{6, 5, 3, 1, 0, 4, 2}
+	if len(sa) != len(want) {
+		t.Fatalf("len %d", len(sa))
+	}
+	for i := range want {
+		if sa[i] != want[i] {
+			t.Fatalf("sa = %v, want %v", sa, want)
+		}
+	}
+}
+
+func TestSuffixArrayRepetitive(t *testing.T) {
+	s := bytes.Repeat([]byte{7}, 5000)
+	sa := suffixArray(s)
+	// Suffixes of aaaa...$ sort by decreasing start: $, a$, aa$, ...
+	for i, pos := range sa {
+		if int(pos) != len(s)-i {
+			t.Fatalf("repetitive SA wrong at %d: %d", i, pos)
+		}
+	}
+}
+
+func TestBWTRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		[]byte("banana"),
+		[]byte("a"),
+		[]byte("abracadabra abracadabra"),
+		bytes.Repeat([]byte{0}, 1000),
+		{255, 0, 128, 3, 3, 3, 0, 0},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		b := make([]byte, rng.Intn(3000)+1)
+		rng.Read(b)
+		cases = append(cases, b)
+	}
+	for i, src := range cases {
+		tr, primary := bwt(src)
+		if len(tr) != len(src) {
+			t.Fatalf("case %d: transform length %d != %d", i, len(tr), len(src))
+		}
+		got := unbwt(tr, primary)
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: BWT round trip failed", i)
+		}
+	}
+}
+
+func TestBWTKnown(t *testing.T) {
+	// BWT of "banana" with sentinel: last column of sorted rotations
+	// of banana$ is annb$aa; dropping $ gives "annbaa" with primary 4.
+	tr, primary := bwt([]byte("banana"))
+	if string(tr) != "annbaa" || primary != 4 {
+		t.Fatalf("bwt(banana) = %q primary %d", tr, primary)
+	}
+}
+
+func TestMTFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		src := make([]byte, rng.Intn(2000))
+		rng.Read(src)
+		if got := mtfDecode(mtfEncode(src)); !bytes.Equal(got, src) {
+			t.Fatal("MTF round trip failed")
+		}
+	}
+}
+
+func TestMTFKnown(t *testing.T) {
+	// First occurrence of byte b encodes as its current list position.
+	got := mtfEncode([]byte{0, 0, 0, 1, 1, 0})
+	want := []byte{0, 0, 0, 1, 0, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mtf = %v, want %v", got, want)
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{0, 0, 0, 0, 0},
+		{1, 2, 3},
+		{0, 0, 5, 0, 0, 0, 9, 0},
+		bytes.Repeat([]byte{0}, 100000),
+	}
+	for i, src := range cases {
+		got, err := rleDecode(rleEncode(src))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) == 0 && len(src) == 0 {
+			continue
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: RLE round trip failed: %v -> %v", i, src, got)
+		}
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	freqs := make([]int, alphabet)
+	freqs[0] = 1000
+	freqs[1] = 500
+	freqs[50] = 3
+	freqs[257] = 1
+	lens := buildCodeLengths(freqs)
+	codes := canonicalCodes(lens)
+	dec, err := newHuffDecoder(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bw bitWriter
+	msg := []int{0, 1, 50, 0, 0, 257, 1, 50}
+	for _, s := range msg {
+		if lens[s] == 0 {
+			t.Fatalf("symbol %d has no code", s)
+		}
+		bw.writeBits(codes[s], uint(lens[s]))
+	}
+	bw.flush()
+	br := &bitReader{src: bw.buf}
+	for i, want := range msg {
+		got, err := dec.decodeSym(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestHuffmanLengthLimit(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; lengths must be
+	// clamped to maxCodeLen.
+	freqs := make([]int, 40)
+	a, b := 1, 1
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+		if a > 1<<40 {
+			a = 1 << 40
+		}
+	}
+	lens := buildCodeLengths(freqs)
+	for sym, l := range lens {
+		if l > maxCodeLen {
+			t.Fatalf("symbol %d length %d > %d", sym, l, maxCodeLen)
+		}
+		if freqs[sym] > 0 && l == 0 {
+			t.Fatalf("symbol %d has frequency but no code", sym)
+		}
+	}
+	if _, err := newHuffDecoder(lens); err != nil {
+		t.Fatalf("length-limited code not decodable: %v", err)
+	}
+}
+
+func TestHuffDecoderRejectsOversubscribed(t *testing.T) {
+	lens := make([]uint8, 4)
+	lens[0], lens[1], lens[2] = 1, 1, 1 // 3 codes of length 1: impossible
+	if _, err := newHuffDecoder(lens); err == nil {
+		t.Fatal("want over-subscription error")
+	}
+}
+
+func roundTrip(t *testing.T, c Codec, src []byte) []byte {
+	t.Helper()
+	comp, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(got))
+	}
+	return comp
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var c Codec
+	roundTrip(t, c, nil)
+	roundTrip(t, c, []byte{42})
+	roundTrip(t, c, []byte("the quick brown fox jumps over the lazy dog"))
+	rng := rand.New(rand.NewSource(7))
+	big := make([]byte, 300_000) // spans two default blocks
+	rng.Read(big)
+	roundTrip(t, c, big)
+}
+
+func TestCodecMultiBlock(t *testing.T) {
+	c := Codec{BlockSize: 1024}
+	src := bytes.Repeat([]byte("0123456789abcdef"), 1000) // 16000 bytes, 16 blocks
+	comp := roundTrip(t, c, src)
+	if len(comp) >= len(src) {
+		t.Fatalf("repetitive input did not compress: %d >= %d", len(comp), len(src))
+	}
+}
+
+func TestCodecCompressesText(t *testing.T) {
+	var c Codec
+	src := bytes.Repeat([]byte("volume rendering over wide area networks "), 2000)
+	comp := roundTrip(t, c, src)
+	if len(comp)*20 > len(src) {
+		t.Fatalf("text compressed only to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestCodecZeros(t *testing.T) {
+	var c Codec
+	comp := roundTrip(t, c, make([]byte, 200_000))
+	if len(comp) > 2000 {
+		t.Fatalf("zeros compressed to %d bytes", len(comp))
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	var c Codec
+	good, err := c.Compress([]byte("hello hello hello hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := c.Decompress(good[:len(good)/2]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := c.Decompress(bad); err == nil {
+		// Flipping the final byte may hit padding; flip an earlier one.
+		bad2 := append([]byte{}, good...)
+		bad2[len(bad2)/2] ^= 0xff
+		if _, err := c.Decompress(bad2); err == nil {
+			t.Error("corrupt stream accepted (both tails)")
+		}
+	}
+}
+
+func TestCodecProperty(t *testing.T) {
+	c := Codec{BlockSize: 512}
+	f := func(src []byte) bool {
+		comp, err := c.Compress(src)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BZIP must beat LZO-style ratios on structured data (the paper's
+// Table 1 ordering: BZIP < LZO in bytes).
+func TestBeatsSimpleLZOnText(t *testing.T) {
+	var c Codec
+	src := make([]byte, 0, 120_000)
+	rng := rand.New(rand.NewSource(8))
+	words := []string{"vorticity", "render", "volume", "frame", "pixel", "network"}
+	for len(src) < 100_000 {
+		src = append(src, words[rng.Intn(len(words))]...)
+		src = append(src, ' ')
+	}
+	comp, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect strong compression on word soup (entropy ~2.6 bits/word-char).
+	if len(comp)*3 > len(src) {
+		t.Fatalf("word soup compressed only to %d/%d", len(comp), len(src))
+	}
+}
+
+func BenchmarkCompress64k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]byte, 64<<10)
+	for i := range src {
+		if i%3 == 0 {
+			src[i] = byte(rng.Intn(8))
+		}
+	}
+	var c Codec
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress64k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]byte, 64<<10)
+	for i := range src {
+		if i%3 == 0 {
+			src[i] = byte(rng.Intn(8))
+		}
+	}
+	var c Codec
+	comp, err := c.Compress(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package bzp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks Compress/Decompress inversion on arbitrary
+// inputs across block boundaries.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte("abracadabra"))
+	f.Add(bytes.Repeat([]byte{0, 1}, 600))
+	c := Codec{BlockSize: 512}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		got, err := c.Decompress(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompress: arbitrary streams must never panic.
+func FuzzDecompress(f *testing.F) {
+	var c Codec
+	good, _ := c.Compress([]byte("corpus seed corpus seed corpus seed"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = c.Decompress(data)
+	})
+}
+
+// FuzzBWT checks the transform inversion directly.
+func FuzzBWT(f *testing.F) {
+	f.Add([]byte("banana"))
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) == 0 {
+			return
+		}
+		tr, primary := bwt(src)
+		got := unbwt(tr, primary)
+		if !bytes.Equal(got, src) {
+			t.Fatal("BWT inversion failed")
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package bzp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// maxCodeLen bounds Huffman code lengths so the table header stores 4
+// bits per symbol.
+const maxCodeLen = 15
+
+// bitWriter packs bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur uint
+}
+
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.cur = w.cur<<n | uint64(v)&((1<<n)-1)
+	w.nCur += n
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nCur))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))
+		w.nCur = 0
+	}
+	w.cur = 0
+}
+
+// bitReader consumes bits MSB-first.
+type bitReader struct {
+	src  []byte
+	pos  int
+	cur  uint64
+	nCur uint
+}
+
+var errOutOfBits = errors.New("bzp: bitstream exhausted")
+
+func (r *bitReader) readBits(n uint) (uint32, error) {
+	for r.nCur < n {
+		if r.pos >= len(r.src) {
+			return 0, errOutOfBits
+		}
+		r.cur = r.cur<<8 | uint64(r.src[r.pos])
+		r.pos++
+		r.nCur += 8
+	}
+	r.nCur -= n
+	return uint32(r.cur>>r.nCur) & ((1 << n) - 1), nil
+}
+
+// buildCodeLengths computes Huffman code lengths for freqs, limited to
+// maxCodeLen by frequency-halving rebuilds (the zlib trick); symbols
+// with zero frequency get length 0.
+func buildCodeLengths(freqs []int) []uint8 {
+	f := make([]int64, len(freqs))
+	for i, v := range freqs {
+		f[i] = int64(v)
+	}
+	for {
+		lens := huffLengths(f)
+		maxLen := uint8(0)
+		for _, l := range lens {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= maxCodeLen {
+			return lens
+		}
+		// Flatten the distribution and retry.
+		for i := range f {
+			if f[i] > 0 {
+				f[i] = (f[i] + 1) / 2
+			}
+		}
+	}
+}
+
+type hNode struct {
+	freq        int64
+	sym         int // -1 for internal
+	left, right int // node indices
+}
+
+type hHeap struct {
+	nodes *[]hNode
+	idx   []int
+}
+
+func (h hHeap) Len() int { return len(h.idx) }
+func (h hHeap) Less(a, b int) bool {
+	na, nb := (*h.nodes)[h.idx[a]], (*h.nodes)[h.idx[b]]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
+	}
+	return h.idx[a] < h.idx[b] // deterministic ties
+}
+func (h hHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *hHeap) Push(x any)   { h.idx = append(h.idx, x.(int)) }
+func (h *hHeap) Pop() any     { v := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return v }
+
+// huffLengths builds an unrestricted Huffman tree and returns code
+// lengths per symbol.
+func huffLengths(freqs []int64) []uint8 {
+	lens := make([]uint8, len(freqs))
+	nodes := make([]hNode, 0, 2*len(freqs))
+	h := &hHeap{nodes: &nodes}
+	for sym, fr := range freqs {
+		if fr > 0 {
+			nodes = append(nodes, hNode{freq: fr, sym: sym, left: -1, right: -1})
+			h.idx = append(h.idx, len(nodes)-1)
+		}
+	}
+	switch len(h.idx) {
+	case 0:
+		return lens
+	case 1:
+		lens[nodes[h.idx[0]].sym] = 1
+		return lens
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		nodes = append(nodes, hNode{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+		heap.Push(h, len(nodes)-1)
+	}
+	root := h.idx[0]
+	// Depth-first depth assignment.
+	type item struct {
+		node  int
+		depth uint8
+	}
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[it.node]
+		if nd.sym >= 0 {
+			lens[nd.sym] = it.depth
+			continue
+		}
+		stack = append(stack, item{nd.left, it.depth + 1}, item{nd.right, it.depth + 1})
+	}
+	return lens
+}
+
+// canonicalCodes assigns canonical codes (shorter first, then symbol
+// order) from lengths.
+func canonicalCodes(lens []uint8) []uint32 {
+	codes := make([]uint32, len(lens))
+	var blCount [maxCodeLen + 1]int
+	for _, l := range lens {
+		blCount[l]++
+	}
+	var nextCode [maxCodeLen + 2]uint32
+	code := uint32(0)
+	blCount[0] = 0
+	for b := 1; b <= maxCodeLen; b++ {
+		code = (code + uint32(blCount[b-1])) << 1
+		nextCode[b] = code
+	}
+	for sym, l := range lens {
+		if l != 0 {
+			codes[sym] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}
+
+// huffDecoder decodes canonical codes bit by bit using per-length
+// first-code/first-symbol tables (the classic canonical decode).
+type huffDecoder struct {
+	// For each length l: firstCode[l], firstSym[l] and count[l].
+	firstCode [maxCodeLen + 1]uint32
+	count     [maxCodeLen + 1]int
+	syms      []int // symbols sorted by (length, symbol)
+	offset    [maxCodeLen + 1]int
+	maxLen    uint8
+}
+
+func newHuffDecoder(lens []uint8) (*huffDecoder, error) {
+	d := &huffDecoder{}
+	for sym, l := range lens {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("bzp: code length %d for symbol %d", l, sym)
+		}
+		if l > 0 {
+			d.count[l]++
+			if l > d.maxLen {
+				d.maxLen = l
+			}
+		}
+	}
+	// Kraft check: the lengths must describe a prefix code.
+	var kraft uint64
+	for l := 1; l <= maxCodeLen; l++ {
+		kraft += uint64(d.count[l]) << (maxCodeLen - l)
+	}
+	if kraft > 1<<maxCodeLen {
+		return nil, errors.New("bzp: over-subscribed code")
+	}
+	code := uint32(0)
+	idx := 0
+	for l := 1; l <= int(d.maxLen); l++ {
+		code = (code + uint32(d.count[l-1])) << 1
+		d.firstCode[l] = code
+		d.offset[l] = idx
+		idx += d.count[l]
+	}
+	d.syms = make([]int, idx)
+	pos := make([]int, maxCodeLen+1)
+	for sym, l := range lens {
+		if l > 0 {
+			d.syms[d.offset[l]+pos[l]] = sym
+			pos[l]++
+		}
+	}
+	return d, nil
+}
+
+// decodeSym reads one symbol.
+func (d *huffDecoder) decodeSym(r *bitReader) (int, error) {
+	code := uint32(0)
+	for l := 1; l <= int(d.maxLen); l++ {
+		b, err := r.readBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if d.count[l] > 0 && code < d.firstCode[l]+uint32(d.count[l]) && code >= d.firstCode[l] {
+			return d.syms[d.offset[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, errors.New("bzp: invalid Huffman code")
+}

@@ -1,0 +1,52 @@
+// Package codecs wires the concrete compressors into the compress
+// registry under the names the paper's Table 1 uses: raw, lzo, bzip,
+// jpeg, jpeg+lzo, jpeg+bzip. Importing this package (usually blank)
+// makes compress.ByName work for all of them.
+package codecs
+
+import (
+	"repro/internal/compress"
+	"repro/internal/compress/bzp"
+	"repro/internal/compress/jpegc"
+	"repro/internal/compress/lzo"
+)
+
+// Quality is the JPEG quality used by registry-constructed codecs; the
+// paper's "visually indistinguishable" baseline setting.
+const Quality = 75
+
+func init() {
+	compress.Register("raw", func() (compress.FrameCodec, error) {
+		return compress.Raw{}, nil
+	})
+	compress.Register("lzo", func() (compress.FrameCodec, error) {
+		return compress.ByteFrame{C: lzo.Codec{}}, nil
+	})
+	compress.Register("bzip", func() (compress.FrameCodec, error) {
+		return compress.ByteFrame{C: bzp.Codec{}}, nil
+	})
+	compress.Register("jpeg", func() (compress.FrameCodec, error) {
+		return jpegc.Codec{Quality: Quality}, nil
+	})
+	compress.Register("jpeg+lzo", func() (compress.FrameCodec, error) {
+		return compress.Chain{F: jpegc.Codec{Quality: Quality}, B: lzo.Codec{}}, nil
+	})
+	compress.Register("jpeg+bzip", func() (compress.FrameCodec, error) {
+		return compress.Chain{F: jpegc.Codec{Quality: Quality}, B: bzp.Codec{}}, nil
+	})
+}
+
+// All returns one constructed instance of every registered codec, in
+// the paper's Table 1 row order.
+func All() ([]compress.FrameCodec, error) {
+	names := []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"}
+	out := make([]compress.FrameCodec, 0, len(names))
+	for _, n := range names {
+		c, err := compress.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package codecs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/img"
+)
+
+func renderedStyleFrame(n int) *img.Frame {
+	f := img.NewFrame(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			dx := float64(x-n/2) / float64(n)
+			dy := float64(y-n/2) / float64(n)
+			v := math.Exp(-(dx*dx + dy*dy) * 10)
+			f.Set(x, y, byte(250*v), byte(180*v*v), byte(90*v))
+		}
+	}
+	return f
+}
+
+func TestAllRegistered(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("got %d codecs", len(all))
+	}
+	wantNames := []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"}
+	for i, c := range all {
+		if c.Name() != wantNames[i] {
+			t.Fatalf("codec %d named %q, want %q", i, c.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := compress.ByName("snappy"); err == nil {
+		t.Fatal("want unknown codec error")
+	}
+}
+
+func TestLosslessCodecsRoundTripExactly(t *testing.T) {
+	f := renderedStyleFrame(96)
+	for _, name := range []string{"raw", "lzo", "bzip"} {
+		c, err := compress.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Lossless() {
+			t.Fatalf("%s must be lossless", name)
+		}
+		data, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := c.DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(f) {
+			t.Fatalf("%s: lossless round trip mismatch", name)
+		}
+	}
+}
+
+func TestLossyCodecsVisuallyClose(t *testing.T) {
+	f := renderedStyleFrame(96)
+	for _, name := range []string{"jpeg", "jpeg+lzo", "jpeg+bzip"} {
+		c, err := compress.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Lossless() {
+			t.Fatalf("%s must be lossy", name)
+		}
+		data, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := c.DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := img.PSNR(f, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 30 {
+			t.Fatalf("%s: PSNR %.1f dB", name, p)
+		}
+	}
+}
+
+// The paper's Table 1 size ordering on rendered-style content:
+// raw > lzo > bzip > jpeg, and the two-phase chains shave a further
+// slice off plain jpeg.
+func TestTable1SizeOrdering(t *testing.T) {
+	f := renderedStyleFrame(256)
+	size := map[string]int{}
+	for _, name := range []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo"} {
+		c, err := compress.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size[name] = len(data)
+	}
+	if !(size["raw"] > size["lzo"] && size["lzo"] > size["bzip"] && size["bzip"] > size["jpeg"]) {
+		t.Fatalf("size ordering violated: %v", size)
+	}
+	if size["jpeg+lzo"] >= size["jpeg"] {
+		t.Fatalf("two-phase did not help: jpeg %d, jpeg+lzo %d", size["jpeg"], size["jpeg+lzo"])
+	}
+}
+
+func TestChainNameComposition(t *testing.T) {
+	c, err := compress.ByName("jpeg+bzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "jpeg+bzip" {
+		t.Fatalf("chain name %q", c.Name())
+	}
+}
+
+func TestRawRejectsCorrupt(t *testing.T) {
+	c, _ := compress.ByName("raw")
+	if _, err := c.DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short raw accepted")
+	}
+	bad := make([]byte, 8+5)
+	bad[0] = 4 // claims 4x0
+	if _, err := c.DecodeFrame(bad); err == nil {
+		t.Fatal("inconsistent raw accepted")
+	}
+}

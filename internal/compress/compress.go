@@ -1,0 +1,174 @@
+// Package compress defines the codec interfaces of the image-transport
+// framework and the combinators the paper's display system uses: raw
+// frames, byte-stream compressors applied to frames (LZO, BZIP), the
+// lossy JPEG frame codec, and two-phase chains (JPEG+LZO, JPEG+BZIP)
+// that squeeze the extra ~10–15% the paper found worthwhile on slow
+// wide-area links.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/img"
+)
+
+// ByteCodec compresses opaque byte streams (LZO, BZIP).
+type ByteCodec interface {
+	// Name identifies the codec in tables and wire headers.
+	Name() string
+	// Compress returns the compressed representation of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress inverts Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// FrameCodec encodes whole RGB frames (raw, JPEG, or a chain).
+type FrameCodec interface {
+	// Name identifies the codec in tables and wire headers.
+	Name() string
+	// Lossless reports whether DecodeFrame(EncodeFrame(f)) == f.
+	Lossless() bool
+	// EncodeFrame serializes a frame.
+	EncodeFrame(f *img.Frame) ([]byte, error)
+	// DecodeFrame inverts EncodeFrame (up to loss for lossy codecs).
+	DecodeFrame(data []byte) (*img.Frame, error)
+}
+
+// Raw is the uncompressed frame codec: an 8-byte header (width,
+// height, little-endian uint32) followed by raw RGB. It doubles as the
+// "X Window" baseline's payload format.
+type Raw struct{}
+
+// Name implements FrameCodec.
+func (Raw) Name() string { return "raw" }
+
+// Lossless implements FrameCodec.
+func (Raw) Lossless() bool { return true }
+
+// EncodeFrame implements FrameCodec.
+func (Raw) EncodeFrame(f *img.Frame) ([]byte, error) {
+	out := make([]byte, 8+len(f.Pix))
+	binary.LittleEndian.PutUint32(out, uint32(f.W))
+	binary.LittleEndian.PutUint32(out[4:], uint32(f.H))
+	copy(out[8:], f.Pix)
+	return out, nil
+}
+
+// DecodeFrame implements FrameCodec.
+func (Raw) DecodeFrame(data []byte) (*img.Frame, error) {
+	if len(data) < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	w := int(binary.LittleEndian.Uint32(data))
+	h := int(binary.LittleEndian.Uint32(data[4:]))
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("compress: implausible raw frame %dx%d", w, h)
+	}
+	if len(data) != 8+w*h*3 {
+		return nil, fmt.Errorf("compress: raw frame payload %d != %d", len(data)-8, w*h*3)
+	}
+	f := img.NewFrame(w, h)
+	copy(f.Pix, data[8:])
+	return f, nil
+}
+
+// ByteFrame lifts a ByteCodec to a FrameCodec by compressing the raw
+// frame serialization.
+type ByteFrame struct{ C ByteCodec }
+
+// Name implements FrameCodec.
+func (b ByteFrame) Name() string { return b.C.Name() }
+
+// Lossless implements FrameCodec.
+func (ByteFrame) Lossless() bool { return true }
+
+// EncodeFrame implements FrameCodec.
+func (b ByteFrame) EncodeFrame(f *img.Frame) ([]byte, error) {
+	raw, err := Raw{}.EncodeFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	return b.C.Compress(raw)
+}
+
+// DecodeFrame implements FrameCodec.
+func (b ByteFrame) DecodeFrame(data []byte) (*img.Frame, error) {
+	raw, err := b.C.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return Raw{}.DecodeFrame(raw)
+}
+
+// Chain applies a byte codec to the output of a frame codec — the
+// paper's two-phase compression (e.g. JPEG+LZO).
+type Chain struct {
+	F FrameCodec
+	B ByteCodec
+}
+
+// Name implements FrameCodec.
+func (c Chain) Name() string { return c.F.Name() + "+" + c.B.Name() }
+
+// Lossless implements FrameCodec.
+func (c Chain) Lossless() bool { return c.F.Lossless() }
+
+// EncodeFrame implements FrameCodec.
+func (c Chain) EncodeFrame(f *img.Frame) ([]byte, error) {
+	inner, err := c.F.EncodeFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	return c.B.Compress(inner)
+}
+
+// DecodeFrame implements FrameCodec.
+func (c Chain) DecodeFrame(data []byte) (*img.Frame, error) {
+	inner, err := c.B.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return c.F.DecodeFrame(inner)
+}
+
+// registry maps codec names to constructors so the display daemon can
+// switch codecs from a control message.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() (FrameCodec, error){}
+)
+
+// Register installs a frame-codec constructor under name. Subpackages
+// register themselves; the codecs package ties them together.
+func Register(name string, mk func() (FrameCodec, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = mk
+}
+
+// ByName constructs the named frame codec.
+func ByName(name string) (FrameCodec, error) {
+	regMu.RLock()
+	mk, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
+	}
+	return mk()
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/img"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	f := img.NewFrame(7, 5)
+	for i := range f.Pix {
+		f.Pix[i] = byte(i * 3)
+	}
+	data, err := Raw{}.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8+7*5*3 {
+		t.Fatalf("raw size %d", len(data))
+	}
+	got, err := Raw{}.DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("raw round trip mismatch")
+	}
+}
+
+func TestRawDecodeErrors(t *testing.T) {
+	if _, err := (Raw{}).DecodeFrame(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	// Huge claimed dimensions.
+	bad := make([]byte, 8)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := (Raw{}).DecodeFrame(bad); err == nil {
+		t.Fatal("implausible dims accepted")
+	}
+}
+
+// xorCodec is a trivial ByteCodec for combinator tests.
+type xorCodec struct{ fail bool }
+
+func (xorCodec) Name() string { return "xor" }
+func (c xorCodec) Compress(src []byte) ([]byte, error) {
+	if c.fail {
+		return nil, errors.New("boom")
+	}
+	out := make([]byte, len(src))
+	for i, b := range src {
+		out[i] = b ^ 0x55
+	}
+	return out, nil
+}
+func (c xorCodec) Decompress(src []byte) ([]byte, error) { return c.Compress(src) }
+
+func TestByteFrameLift(t *testing.T) {
+	f := img.NewFrame(3, 3)
+	f.Pix[0] = 200
+	bf := ByteFrame{C: xorCodec{}}
+	if bf.Name() != "xor" || !bf.Lossless() {
+		t.Fatal("metadata")
+	}
+	data, err := bf.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must actually be transformed, not raw.
+	raw, _ := Raw{}.EncodeFrame(f)
+	if bytes.Equal(data, raw) {
+		t.Fatal("byte codec not applied")
+	}
+	got, err := bf.DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestChainPropagatesErrors(t *testing.T) {
+	ch := Chain{F: Raw{}, B: xorCodec{fail: true}}
+	if _, err := ch.EncodeFrame(img.NewFrame(2, 2)); err == nil {
+		t.Fatal("encode error swallowed")
+	}
+}
+
+func TestChainNameAndLossless(t *testing.T) {
+	ch := Chain{F: Raw{}, B: xorCodec{}}
+	if ch.Name() != "raw+xor" {
+		t.Fatalf("name %q", ch.Name())
+	}
+	if !ch.Lossless() {
+		t.Fatal("raw chain must be lossless")
+	}
+	f := img.NewFrame(4, 2)
+	f.Pix[5] = 99
+	data, err := ch.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("chain round trip mismatch")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-codec", func() (FrameCodec, error) { return Raw{}, nil })
+	c, err := ByName("test-codec")
+	if err != nil || c.Name() != "raw" {
+		t.Fatalf("registry lookup: %v %v", c, err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-codec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names missing registered codec")
+	}
+}

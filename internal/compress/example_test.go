@@ -1,0 +1,44 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	_ "repro/internal/compress/codecs"
+	"repro/internal/img"
+)
+
+// Encode a frame with a named codec from the registry and decode it
+// back — the path every image takes through the display daemon.
+func Example() {
+	frame := img.NewFrame(16, 16)
+	for i := range frame.Pix {
+		frame.Pix[i] = byte(i % 7)
+	}
+	codec, err := compress.ByName("lzo")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	data, err := codec.EncodeFrame(frame)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	back, err := codec.DecodeFrame(data)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(codec.Lossless(), back.Equal(frame), len(data) < len(frame.Pix))
+	// Output: true true true
+}
+
+// Chain a lossy frame codec with a byte codec — the paper's two-phase
+// JPEG+LZO compression.
+func ExampleChain() {
+	jpeg, _ := compress.ByName("jpeg")
+	chained, _ := compress.ByName("jpeg+lzo")
+	fmt.Println(jpeg.Name(), chained.Name(), chained.Lossless())
+	// Output: jpeg jpeg+lzo false
+}

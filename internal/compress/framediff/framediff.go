@@ -1,0 +1,152 @@
+// Package framediff implements the temporal-coherence compression the
+// paper lists as future work (§7.1, citing Crockett's frame
+// differencing): consecutive frames of a time-varying animation differ
+// little, so a frame is sent as a byte-wise delta against the previous
+// frame, compressed losslessly; periodic keyframes bound error
+// propagation and let late-joining viewers resynchronize.
+//
+// Unlike the stateless FrameCodecs, a frame-differencing stream is
+// stateful on both ends, so the package exposes an Encoder/Decoder
+// pair rather than a compress.FrameCodec.
+package framediff
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/compress/lzo"
+	"repro/internal/img"
+)
+
+// Frame kinds on the wire.
+const (
+	kindKey   = 1
+	kindDelta = 2
+)
+
+// ErrCorrupt reports an undecodable stream frame.
+var ErrCorrupt = errors.New("framediff: corrupt stream")
+
+// Encoder produces a frame-differencing stream.
+type Encoder struct {
+	// KeyInterval forces a keyframe every N frames (default 16).
+	// Keyframes are also emitted on size changes and at stream start.
+	KeyInterval int
+	// Codec compresses both keyframes and deltas; nil means LZO, the
+	// paper's fast lossless choice.
+	Codec compress.ByteCodec
+
+	prev  *img.Frame
+	since int
+}
+
+// NewEncoder returns an encoder with default settings.
+func NewEncoder() *Encoder { return &Encoder{KeyInterval: 16} }
+
+func (e *Encoder) codec() compress.ByteCodec {
+	if e.Codec != nil {
+		return e.Codec
+	}
+	return lzo.Codec{}
+}
+
+// EncodeNext encodes frame f relative to the stream state.
+func (e *Encoder) EncodeNext(f *img.Frame) ([]byte, error) {
+	interval := e.KeyInterval
+	if interval <= 0 {
+		interval = 16
+	}
+	key := e.prev == nil || e.since >= interval-1 ||
+		e.prev.W != f.W || e.prev.H != f.H
+	var body []byte
+	if key {
+		raw, err := compress.Raw{}.EncodeFrame(f)
+		if err != nil {
+			return nil, err
+		}
+		body, err = e.codec().Compress(raw)
+		if err != nil {
+			return nil, err
+		}
+		e.since = 0
+	} else {
+		diff := make([]byte, len(f.Pix))
+		for i := range diff {
+			diff[i] = f.Pix[i] - e.prev.Pix[i] // wrapping subtract
+		}
+		var err error
+		body, err = e.codec().Compress(diff)
+		if err != nil {
+			return nil, err
+		}
+		e.since++
+	}
+	e.prev = f.Clone()
+	out := make([]byte, 1+len(body))
+	if key {
+		out[0] = kindKey
+	} else {
+		out[0] = kindDelta
+	}
+	copy(out[1:], body)
+	return out, nil
+}
+
+// Reset clears the stream state, forcing the next frame to be a key.
+func (e *Encoder) Reset() { e.prev = nil; e.since = 0 }
+
+// Decoder consumes a frame-differencing stream.
+type Decoder struct {
+	// Codec must match the encoder's (nil = LZO).
+	Codec compress.ByteCodec
+
+	prev *img.Frame
+}
+
+// NewDecoder returns a decoder with default settings.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+func (d *Decoder) codec() compress.ByteCodec {
+	if d.Codec != nil {
+		return d.Codec
+	}
+	return lzo.Codec{}
+}
+
+// DecodeNext decodes the next stream frame.
+func (d *Decoder) DecodeNext(data []byte) (*img.Frame, error) {
+	if len(data) < 1 {
+		return nil, ErrCorrupt
+	}
+	body, err := d.codec().Decompress(data[1:])
+	if err != nil {
+		return nil, err
+	}
+	switch data[0] {
+	case kindKey:
+		f, err := compress.Raw{}.DecodeFrame(body)
+		if err != nil {
+			return nil, err
+		}
+		d.prev = f
+		return f.Clone(), nil
+	case kindDelta:
+		if d.prev == nil {
+			return nil, fmt.Errorf("framediff: delta before any keyframe")
+		}
+		if len(body) != len(d.prev.Pix) {
+			return nil, fmt.Errorf("framediff: delta of %d bytes against %d-byte frame", len(body), len(d.prev.Pix))
+		}
+		f := img.NewFrame(d.prev.W, d.prev.H)
+		for i := range body {
+			f.Pix[i] = d.prev.Pix[i] + body[i]
+		}
+		d.prev = f
+		return f.Clone(), nil
+	}
+	return nil, fmt.Errorf("framediff: unknown frame kind %d", data[0])
+}
+
+// Reset clears the decoder; the next frame must be a key.
+func (d *Decoder) Reset() { d.prev = nil }

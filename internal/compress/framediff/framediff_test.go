@@ -1,0 +1,239 @@
+package framediff
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/compress/bzp"
+	"repro/internal/datagen"
+	"repro/internal/img"
+	"repro/internal/render"
+	"repro/internal/tf"
+)
+
+// animation renders a few coherent frames of the rotating jet.
+func animation(t testing.TB, n, size int) []*img.Frame {
+	t.Helper()
+	g := datagen.NewJetScaled(0.2, n)
+	out := make([]*img.Frame, n)
+	for i := 0; i < n; i++ {
+		v, err := g.Step(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cam, err := render.NewOrbitCamera(v.Dims, 0.6+0.02*float64(i), 0.35, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, _, err := render.Render(v, cam, tf.Jet(), render.DefaultOptions(), size, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = im.ToFrame(0)
+	}
+	return out
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	frames := animation(t, 6, 64)
+	enc := NewEncoder()
+	dec := NewDecoder()
+	for i, f := range frames {
+		data, err := enc.EncodeNext(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.DecodeNext(data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !got.Equal(f) {
+			t.Fatalf("frame %d: lossless round trip failed", i)
+		}
+	}
+}
+
+func TestFirstFrameIsKey(t *testing.T) {
+	frames := animation(t, 1, 32)
+	enc := NewEncoder()
+	data, err := enc.EncodeNext(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != kindKey {
+		t.Fatal("first frame must be a keyframe")
+	}
+}
+
+func TestDeltasSmallerThanKeys(t *testing.T) {
+	frames := animation(t, 5, 64)
+	enc := NewEncoder()
+	keyLen := 0
+	for i, f := range frames {
+		data, err := enc.EncodeNext(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			keyLen = len(data)
+			continue
+		}
+		if data[0] != kindDelta {
+			t.Fatalf("frame %d not a delta", i)
+		}
+		// Temporal coherence must make deltas cheaper than keys.
+		if len(data) >= keyLen {
+			t.Fatalf("delta %d (%d B) not smaller than key (%d B)", i, len(data), keyLen)
+		}
+	}
+}
+
+func TestKeyInterval(t *testing.T) {
+	frames := animation(t, 5, 32)
+	enc := NewEncoder()
+	enc.KeyInterval = 2
+	kinds := []byte{}
+	for _, f := range frames {
+		data, err := enc.EncodeNext(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, data[0])
+	}
+	want := []byte{kindKey, kindDelta, kindKey, kindDelta, kindKey}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestSizeChangeForcesKey(t *testing.T) {
+	a := img.NewFrame(16, 16)
+	b := img.NewFrame(32, 16)
+	enc := NewEncoder()
+	if _, err := enc.EncodeNext(a); err != nil {
+		t.Fatal(err)
+	}
+	data, err := enc.EncodeNext(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != kindKey {
+		t.Fatal("size change must force a keyframe")
+	}
+}
+
+func TestDecoderRejectsDeltaFirst(t *testing.T) {
+	frames := animation(t, 2, 32)
+	enc := NewEncoder()
+	if _, err := enc.EncodeNext(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := enc.EncodeNext(frames[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	if _, err := dec.DecodeNext(delta); err == nil {
+		t.Fatal("delta without keyframe accepted")
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	dec := NewDecoder()
+	if _, err := dec.DecodeNext(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := dec.DecodeNext([]byte{9, 1, 2, 3}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestResetForcesKey(t *testing.T) {
+	frames := animation(t, 3, 32)
+	enc := NewEncoder()
+	dec := NewDecoder()
+	for _, f := range frames[:2] {
+		data, err := enc.EncodeNext(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.DecodeNext(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc.Reset()
+	dec.Reset()
+	data, err := enc.EncodeNext(frames[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != kindKey {
+		t.Fatal("reset must force a keyframe")
+	}
+	got, err := dec.DecodeNext(data)
+	if err != nil || !got.Equal(frames[2]) {
+		t.Fatalf("post-reset decode: %v", err)
+	}
+}
+
+func TestCustomCodec(t *testing.T) {
+	frames := animation(t, 3, 32)
+	enc := &Encoder{KeyInterval: 16, Codec: bzp.Codec{}}
+	dec := &Decoder{Codec: bzp.Codec{}}
+	for i, f := range frames {
+		data, err := enc.EncodeNext(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.DecodeNext(data)
+		if err != nil || !got.Equal(f) {
+			t.Fatalf("frame %d with bzip: %v", i, err)
+		}
+	}
+}
+
+// The headline claim: on a coherent animation, frame differencing
+// beats sending each frame independently with the same lossless codec.
+func TestBeatsIndependentLossless(t *testing.T) {
+	frames := animation(t, 6, 64)
+	enc := NewEncoder()
+	var streamBytes, independentBytes int
+	indep := compress.ByteFrame{C: compress.ByteCodec(nil)}
+	_ = indep
+	for _, f := range frames {
+		data, err := enc.EncodeNext(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamBytes += len(data)
+		lz, err := (compress.ByteFrame{C: lzoCodec()}).EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		independentBytes += len(lz)
+	}
+	if streamBytes >= independentBytes {
+		t.Fatalf("frame differencing (%d B) not smaller than independent LZO (%d B)", streamBytes, independentBytes)
+	}
+}
+
+func lzoCodec() compress.ByteCodec {
+	return NewEncoder().codec()
+}
+
+func BenchmarkEncodeDelta(b *testing.B) {
+	frames := animation(b, 2, 128)
+	b.SetBytes(int64(len(frames[1].Pix)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := NewEncoder()
+		if _, err := enc.EncodeNext(frames[0]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := enc.EncodeNext(frames[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

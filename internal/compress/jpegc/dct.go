@@ -1,0 +1,141 @@
+package jpegc
+
+import "math"
+
+// cosTab[u][x] = c(u) * cos((2x+1) u pi / 16) / 2, the orthonormal
+// DCT-II basis used by both the forward transform and the accurate
+// inverse.
+var cosTab [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			cosTab[u][x] = cu * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) / 2
+		}
+	}
+}
+
+// fdct2d computes the 2D forward DCT of an 8x8 block in place
+// (row-major, level-shifted samples in, frequency coefficients out).
+func fdct2d(b *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += cosTab[u][x] * b[y*8+x]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += cosTab[v][y] * tmp[y*8+u]
+			}
+			b[v*8+u] = s
+		}
+	}
+}
+
+// idct2dAccurate computes the accurate float inverse DCT: coefficients
+// in, spatial samples out.
+func idct2dAccurate(b *[64]float64) {
+	var tmp [64]float64
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += cosTab[v][y] * b[v*8+u]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += cosTab[u][x] * tmp[y*8+u]
+			}
+			b[y*8+x] = s
+		}
+	}
+}
+
+// Fixed-point inverse DCT for the fast decode path: the same separable
+// structure with the basis quantized to 10 fractional bits and integer
+// arithmetic throughout. It is measurably faster and slightly less
+// accurate — the paper's decode-speed knob.
+const fixBits = 10
+
+var cosFix [8][8]int32
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosFix[u][x] = int32(math.Round(cosTab[u][x] * (1 << fixBits)))
+		}
+	}
+}
+
+// idct2dFast computes an approximate inverse DCT on int32
+// coefficients; the result is spatial samples (still level-shifted).
+// Beyond the fixed-point arithmetic it skips all-zero coefficient
+// columns and short-circuits DC-only blocks — the dominant case in
+// the dark backgrounds of rendered volume images and the main source
+// of the fast path's speedup.
+func idct2dFast(b *[64]int32) {
+	// DC-only block: constant output.
+	dcOnly := true
+	for i := 1; i < 64; i++ {
+		if b[i] != 0 {
+			dcOnly = false
+			break
+		}
+	}
+	if dcOnly {
+		v := int32((int64(cosFix[0][0]) * int64(cosFix[0][0]) * int64(b[0])) >> (2 * fixBits))
+		for i := range b {
+			b[i] = v
+		}
+		return
+	}
+	var tmp [64]int32
+	for u := 0; u < 8; u++ {
+		allZero := true
+		for v := 0; v < 8; v++ {
+			if b[v*8+u] != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue // tmp column already zero
+		}
+		for y := 0; y < 8; y++ {
+			var s int64
+			for v := 0; v < 8; v++ {
+				s += int64(cosFix[v][y]) * int64(b[v*8+u])
+			}
+			tmp[y*8+u] = int32(s >> fixBits)
+		}
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s int64
+			for u := 0; u < 8; u++ {
+				s += int64(cosFix[u][x]) * int64(tmp[y*8+u])
+			}
+			b[y*8+x] = int32(s >> fixBits)
+		}
+	}
+}

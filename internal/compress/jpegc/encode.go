@@ -1,0 +1,285 @@
+package jpegc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/img"
+)
+
+// bitstream writes entropy-coded data MSB-first with 0xFF byte
+// stuffing, as the JPEG scan format requires.
+type bitstream struct {
+	buf  []byte
+	acc  uint32
+	nAcc uint
+}
+
+func (b *bitstream) put(code uint32, n uint) {
+	b.acc = b.acc<<n | (code & ((1 << n) - 1))
+	b.nAcc += n
+	for b.nAcc >= 8 {
+		b.nAcc -= 8
+		by := byte(b.acc >> b.nAcc)
+		b.buf = append(b.buf, by)
+		if by == 0xff {
+			b.buf = append(b.buf, 0x00)
+		}
+	}
+}
+
+// finish pads the final byte with 1-bits per the JPEG spec.
+func (b *bitstream) finish() {
+	if b.nAcc > 0 {
+		pad := 8 - b.nAcc
+		b.put((1<<pad)-1, pad)
+	}
+}
+
+// Encode serializes frame f as a baseline JFIF JPEG with 4:2:0 chroma
+// subsampling at the given quality (1..100).
+func Encode(f *img.Frame, quality int) ([]byte, error) {
+	return EncodeRestart(f, quality, 0)
+}
+
+// EncodeRestart is Encode with a restart interval: every n MCUs the
+// scan emits an RSTm marker and resets the DC predictors, bounding
+// error propagation on lossy links (0 disables, as plain Encode).
+func EncodeRestart(f *img.Frame, quality, restartInterval int) ([]byte, error) {
+	if f.W < 1 || f.H < 1 {
+		return nil, fmt.Errorf("jpegc: empty frame %dx%d", f.W, f.H)
+	}
+	if f.W > 0xffff || f.H > 0xffff {
+		return nil, fmt.Errorf("jpegc: frame %dx%d exceeds JPEG limits", f.W, f.H)
+	}
+	if restartInterval < 0 || restartInterval > 0xffff {
+		return nil, fmt.Errorf("jpegc: restart interval %d out of [0,65535]", restartInterval)
+	}
+	lumaQ := scaleQuant(&baseLumaQuant, quality)
+	chromaQ := scaleQuant(&baseChromaQuant, quality)
+
+	out := make([]byte, 0, f.W*f.H/4+1024)
+	out = append(out, 0xff, 0xd8) // SOI
+	out = appendAPP0(out)
+	out = appendDQT(out, 0, &lumaQ)
+	out = appendDQT(out, 1, &chromaQ)
+	out = appendSOF0(out, f.W, f.H)
+	out = appendDHT(out, 0, 0, dcLumaSpec)
+	out = appendDHT(out, 1, 0, acLumaSpec)
+	out = appendDHT(out, 0, 1, dcChromaSpec)
+	out = appendDHT(out, 1, 1, acChromaSpec)
+	if restartInterval > 0 {
+		out = appendMarker(out, 0xdd, []byte{byte(restartInterval >> 8), byte(restartInterval)})
+	}
+	out = appendSOS(out)
+
+	bs := &bitstream{buf: out}
+	encodeScan(bs, f, &lumaQ, &chromaQ, restartInterval)
+	bs.finish()
+	out = bs.buf
+	out = append(out, 0xff, 0xd9) // EOI
+	return out, nil
+}
+
+func appendMarker(out []byte, marker byte, payload []byte) []byte {
+	out = append(out, 0xff, marker)
+	n := len(payload) + 2
+	out = append(out, byte(n>>8), byte(n))
+	return append(out, payload...)
+}
+
+func appendAPP0(out []byte) []byte {
+	return appendMarker(out, 0xe0, []byte{
+		'J', 'F', 'I', 'F', 0,
+		1, 1, // version 1.1
+		0,    // aspect-ratio units
+		0, 1, // x density
+		0, 1, // y density
+		0, 0, // no thumbnail
+	})
+}
+
+func appendDQT(out []byte, id int, q *[64]byte) []byte {
+	payload := make([]byte, 65)
+	payload[0] = byte(id) // 8-bit precision, table id
+	for z := 0; z < 64; z++ {
+		payload[1+z] = q[zigzag[z]]
+	}
+	return appendMarker(out, 0xdb, payload)
+}
+
+func appendSOF0(out []byte, w, h int) []byte {
+	return appendMarker(out, 0xc0, []byte{
+		8, // precision
+		byte(h >> 8), byte(h),
+		byte(w >> 8), byte(w),
+		3,          // components
+		1, 0x22, 0, // Y: 2x2 sampling, quant table 0
+		2, 0x11, 1, // Cb: 1x1, quant table 1
+		3, 0x11, 1, // Cr
+	})
+}
+
+func appendDHT(out []byte, class, id int, spec huffSpec) []byte {
+	payload := make([]byte, 0, 1+16+len(spec.values))
+	payload = append(payload, byte(class<<4|id))
+	payload = append(payload, spec.counts[:]...)
+	payload = append(payload, spec.values...)
+	return appendMarker(out, 0xc4, payload)
+}
+
+func appendSOS(out []byte) []byte {
+	return appendMarker(out, 0xda, []byte{
+		3,
+		1, 0x00, // Y: DC table 0, AC table 0
+		2, 0x11, // Cb: DC table 1, AC table 1
+		3, 0x11, // Cr
+		0, 63, 0, // spectral selection (baseline)
+	})
+}
+
+// rgbToYCbCr converts one pixel (JFIF full-range).
+func rgbToYCbCr(r, g, b byte) (y, cb, cr float64) {
+	rf, gf, bf := float64(r), float64(g), float64(b)
+	y = 0.299*rf + 0.587*gf + 0.114*bf
+	cb = -0.168736*rf - 0.331264*gf + 0.5*bf + 128
+	cr = 0.5*rf - 0.418688*gf - 0.081312*bf + 128
+	return
+}
+
+// encodeScan writes the interleaved 4:2:0 MCU stream, emitting RSTm
+// markers every restartInterval MCUs when nonzero.
+func encodeScan(bs *bitstream, f *img.Frame, lumaQ, chromaQ *[64]byte, restartInterval int) {
+	mcuW := (f.W + 15) / 16
+	mcuH := (f.H + 15) / 16
+
+	// Per-component DC predictors.
+	var dcY, dcCb, dcCr int
+	mcu := 0
+	rst := 0
+
+	var yPlane [256]float64 // 16x16 luma of the current MCU
+	var cbPlane, crPlane [64]float64
+
+	for my := 0; my < mcuH; my++ {
+		for mx := 0; mx < mcuW; mx++ {
+			if restartInterval > 0 && mcu > 0 && mcu%restartInterval == 0 {
+				// Pad to a byte boundary and emit RSTm; predictors
+				// reset per the spec.
+				bs.finish()
+				bs.buf = append(bs.buf, 0xff, byte(0xd0+rst))
+				rst = (rst + 1) % 8
+				dcY, dcCb, dcCr = 0, 0, 0
+			}
+			mcu++
+			// Gather the 16x16 tile with edge replication, computing
+			// YCbCr and box-filtered chroma.
+			for ty := 0; ty < 16; ty++ {
+				sy := clampi(my*16+ty, 0, f.H-1)
+				for tx := 0; tx < 16; tx++ {
+					sx := clampi(mx*16+tx, 0, f.W-1)
+					r, g, b := f.At(sx, sy)
+					y, cb, cr := rgbToYCbCr(r, g, b)
+					yPlane[ty*16+tx] = y
+					if ty%2 == 0 && tx%2 == 0 {
+						cbPlane[(ty/2)*8+tx/2] = 0
+						crPlane[(ty/2)*8+tx/2] = 0
+					}
+					cbPlane[(ty/2)*8+tx/2] += cb / 4
+					crPlane[(ty/2)*8+tx/2] += cr / 4
+				}
+			}
+			// Four Y blocks in order: (0,0) (1,0) (0,1) (1,1).
+			for by := 0; by < 2; by++ {
+				for bx := 0; bx < 2; bx++ {
+					var blk [64]float64
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							blk[y*8+x] = yPlane[(by*8+y)*16+bx*8+x] - 128
+						}
+					}
+					dcY = encodeBlock(bs, &blk, lumaQ, dcLumaEnc, acLumaEnc, dcY)
+				}
+			}
+			var blk [64]float64
+			for i := range blk {
+				blk[i] = cbPlane[i] - 128
+			}
+			dcCb = encodeBlock(bs, &blk, chromaQ, dcChromaEnc, acChromaEnc, dcCb)
+			for i := range blk {
+				blk[i] = crPlane[i] - 128
+			}
+			dcCr = encodeBlock(bs, &blk, chromaQ, dcChromaEnc, acChromaEnc, dcCr)
+		}
+	}
+}
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// encodeBlock transforms, quantizes and entropy-codes one 8x8 block,
+// returning the new DC predictor.
+func encodeBlock(bs *bitstream, blk *[64]float64, q *[64]byte, dcT, acT *encTable, dcPred int) int {
+	fdct2d(blk)
+	var zz [64]int
+	for n := 0; n < 64; n++ {
+		zz[unzigzag[n]] = int(math.Round(blk[n] / float64(q[n])))
+	}
+	// DC difference.
+	diff := zz[0] - dcPred
+	size := magnitudeBits(diff)
+	bs.put(uint32(dcT.code[size]), uint(dcT.size[size]))
+	if size > 0 {
+		bs.put(magnitudeValue(diff, size), uint(size))
+	}
+	// AC run-length coding.
+	run := 0
+	for k := 1; k < 64; k++ {
+		if zz[k] == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			bs.put(uint32(acT.code[0xf0]), uint(acT.size[0xf0])) // ZRL
+			run -= 16
+		}
+		s := magnitudeBits(zz[k])
+		sym := byte(run<<4) | s
+		bs.put(uint32(acT.code[sym]), uint(acT.size[sym]))
+		bs.put(magnitudeValue(zz[k], s), uint(s))
+		run = 0
+	}
+	if run > 0 {
+		bs.put(uint32(acT.code[0x00]), uint(acT.size[0x00])) // EOB
+	}
+	return zz[0]
+}
+
+// magnitudeBits returns the JPEG category (bit length) of v.
+func magnitudeBits(v int) byte {
+	if v < 0 {
+		v = -v
+	}
+	n := byte(0)
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// magnitudeValue returns the size-bit amplitude code for v (negative
+// values use the one's-complement convention).
+func magnitudeValue(v int, size byte) uint32 {
+	if v < 0 {
+		v += (1 << size) - 1
+	}
+	return uint32(v)
+}

@@ -1,0 +1,45 @@
+package lzo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks Compress/Decompress inversion on arbitrary
+// inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte("hello hello hello"))
+	f.Add(bytes.Repeat([]byte{7}, 300))
+	var c Codec
+	f.Fuzz(func(t *testing.T, src []byte) {
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		got, err := c.Decompress(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompress checks that arbitrary byte streams never panic or
+// allocate unboundedly — they either decode or error.
+func FuzzDecompress(f *testing.F) {
+	var c Codec
+	good, _ := c.Compress([]byte("seed data for the corpus, repeated repeated"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := c.Decompress(data)
+		if err == nil && len(out) > 1<<31 {
+			t.Fatal("implausible output size accepted")
+		}
+	})
+}

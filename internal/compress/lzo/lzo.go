@@ -1,0 +1,199 @@
+// Package lzo implements an LZO1X-class byte compressor from scratch:
+// a hash-chain-free LZ77 with a greedy parse, favoring compression and
+// decompression speed over ratio, exactly the trade the paper picks
+// LZO for ("favors speed over compression ratio", "decompression
+// requires no extra memory").
+//
+// The token format follows the LZ4 layout (the modern codification of
+// the LZO1X idea): each sequence is a token byte whose high nibble is
+// the literal count and low nibble the match length minus 4 (15 marks
+// an extension byte chain), followed by the literals, a 2-byte
+// little-endian match offset, and any match-length extension bytes.
+// The stream ends with a literal-only sequence. Decompression is a
+// single pass of copies with no allocations beyond the output buffer.
+package lzo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec is the LZO-style byte codec. The zero value is ready to use.
+type Codec struct{}
+
+// Name implements compress.ByteCodec.
+func (Codec) Name() string { return "lzo" }
+
+const (
+	minMatch   = 4
+	maxOffset  = 65535
+	hashLog    = 16
+	hashShift  = 64 - hashLog
+	hashPrime  = 0x9e3779b185ebca87
+	maxLiteral = 15
+)
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("lzo: corrupt stream")
+
+func hash4(u uint32) uint32 {
+	return uint32((uint64(u) * hashPrime) >> hashShift)
+}
+
+func load32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
+
+// Compress implements compress.ByteCodec. The output starts with the
+// decompressed length as a uvarint so Decompress can allocate exactly
+// once.
+func (Codec) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)/2+16)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(src)))
+	out = append(out, lenBuf[:n]...)
+	if len(src) == 0 {
+		return out, nil
+	}
+
+	var table [1 << hashLog]int32 // position+1 of the last occurrence of each hash
+	anchor := 0                   // start of pending literals
+	i := 0
+	limit := len(src) - minMatch
+	for i <= limit {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand >= 0 && i-cand <= maxOffset && load32(src, cand) == load32(src, i) {
+			// Extend the match forward.
+			mlen := minMatch
+			for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+				mlen++
+			}
+			out = emitSequence(out, src[anchor:i], i-cand, mlen)
+			// Insert a few positions inside the match to keep the
+			// table warm (greedy, cheap).
+			end := i + mlen
+			for j := i + 1; j < end && j <= limit; j += 2 {
+				table[hash4(load32(src, j))] = int32(j + 1)
+			}
+			i = end
+			anchor = i
+			continue
+		}
+		i++
+	}
+	// Trailing literals.
+	out = emitSequence(out, src[anchor:], 0, 0)
+	return out, nil
+}
+
+// emitSequence appends one token sequence. A zero mlen means a final
+// literal-only sequence (no offset field).
+func emitSequence(dst, literals []byte, offset, mlen int) []byte {
+	litLen := len(literals)
+	litCode := litLen
+	if litCode >= maxLiteral {
+		litCode = maxLiteral
+	}
+	if mlen == 0 {
+		dst = append(dst, byte(litCode<<4))
+		dst = appendExt(dst, litLen-maxLiteral, litCode == maxLiteral)
+		return append(dst, literals...)
+	}
+	mCode := mlen - minMatch
+	if mCode >= maxLiteral {
+		mCode = maxLiteral
+	}
+	dst = append(dst, byte(litCode<<4|mCode))
+	dst = appendExt(dst, litLen-maxLiteral, litCode == maxLiteral)
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	dst = appendExt(dst, mlen-minMatch-maxLiteral, mCode == maxLiteral)
+	return dst
+}
+
+// appendExt writes the 255-chained extension bytes when the nibble
+// saturated.
+func appendExt(dst []byte, rem int, saturated bool) []byte {
+	if !saturated {
+		return dst
+	}
+	for rem >= 255 {
+		dst = append(dst, 255)
+		rem -= 255
+	}
+	return append(dst, byte(rem))
+}
+
+// Decompress implements compress.ByteCodec.
+func (Codec) Decompress(src []byte) ([]byte, error) {
+	total, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	if total > 1<<31 {
+		return nil, fmt.Errorf("lzo: implausible decompressed size %d", total)
+	}
+	src = src[n:]
+	out := make([]byte, 0, total)
+	for len(src) > 0 {
+		token := src[0]
+		src = src[1:]
+		litLen := int(token >> 4)
+		var err error
+		litLen, src, err = readExt(litLen, src)
+		if err != nil {
+			return nil, err
+		}
+		if litLen > len(src) {
+			return nil, ErrCorrupt
+		}
+		out = append(out, src[:litLen]...)
+		src = src[litLen:]
+		if len(src) == 0 {
+			break // final literal-only sequence
+		}
+		if len(src) < 2 {
+			return nil, ErrCorrupt
+		}
+		offset := int(src[0]) | int(src[1])<<8
+		src = src[2:]
+		mlen := int(token & 0xf)
+		mlen, src, err = readExt(mlen, src)
+		if err != nil {
+			return nil, err
+		}
+		mlen += minMatch
+		if offset == 0 || offset > len(out) {
+			return nil, ErrCorrupt
+		}
+		// Byte-by-byte copy: overlapping matches (offset < mlen)
+		// replicate the pattern, which is the RLE case.
+		pos := len(out) - offset
+		for k := 0; k < mlen; k++ {
+			out = append(out, out[pos+k])
+		}
+	}
+	if uint64(len(out)) != total {
+		return nil, fmt.Errorf("lzo: decompressed %d bytes, header says %d", len(out), total)
+	}
+	return out, nil
+}
+
+// readExt consumes extension bytes when code saturated at 15.
+func readExt(code int, src []byte) (int, []byte, error) {
+	if code != maxLiteral {
+		return code, src, nil
+	}
+	for {
+		if len(src) == 0 {
+			return 0, nil, ErrCorrupt
+		}
+		b := src[0]
+		src = src[1:]
+		code += int(b)
+		if b != 255 {
+			return code, src, nil
+		}
+	}
+}

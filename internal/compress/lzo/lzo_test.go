@@ -1,0 +1,244 @@
+package lzo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	var c Codec
+	comp, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(got))
+	}
+	return comp
+}
+
+func TestEmpty(t *testing.T) {
+	comp := roundTrip(t, nil)
+	if len(comp) == 0 {
+		t.Fatal("empty input must still produce a header")
+	}
+}
+
+func TestShortInputs(t *testing.T) {
+	for n := 1; n < 16; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 37)
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestAllZeros(t *testing.T) {
+	src := make([]byte, 100_000)
+	comp := roundTrip(t, src)
+	if len(comp) > 1000 {
+		t.Fatalf("100k zeros compressed to %d bytes — RLE path broken", len(comp))
+	}
+}
+
+func TestRepeatedPattern(t *testing.T) {
+	src := bytes.Repeat([]byte("volume rendering "), 5000)
+	comp := roundTrip(t, src)
+	if len(comp)*10 > len(src) {
+		t.Fatalf("repetitive text compressed only to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestIncompressibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 64*1024)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	// Random data must expand only slightly.
+	if len(comp) > len(src)+len(src)/16+64 {
+		t.Fatalf("random data expanded to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestLongMatchExtension(t *testing.T) {
+	// One literal, then a very long match requiring many extension bytes.
+	src := append([]byte{42}, bytes.Repeat([]byte{7}, 10_000)...)
+	roundTrip(t, src)
+}
+
+func TestLongLiteralExtension(t *testing.T) {
+	// All-unique bytes force a long literal run (> 15, > 270).
+	src := make([]byte, 1000)
+	for i := range src {
+		src[i] = byte(i*131 + i/256)
+	}
+	roundTrip(t, src)
+}
+
+func TestOverlappingMatchOffsets(t *testing.T) {
+	// Period-1, 2, 3 patterns exercise overlapping copies.
+	for _, period := range []int{1, 2, 3, 5} {
+		src := make([]byte, 4096)
+		for i := range src {
+			src[i] = byte(i % period)
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestFarOffsets(t *testing.T) {
+	// Match just inside and content beyond the 64k window.
+	block := make([]byte, 80)
+	for i := range block {
+		block[i] = byte(i + 100)
+	}
+	src := make([]byte, 0, 200_000)
+	src = append(src, block...)
+	rng := rand.New(rand.NewSource(2))
+	filler := make([]byte, 70_000)
+	rng.Read(filler)
+	src = append(src, filler...)
+	src = append(src, block...) // beyond window: must still round-trip
+	roundTrip(t, src)
+}
+
+func TestRenderedImageLike(t *testing.T) {
+	// Mostly-black frame with a colored disc, like a rendered volume.
+	const W, H = 256, 256
+	src := make([]byte, W*H*3)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			dx, dy := x-128, y-128
+			if dx*dx+dy*dy < 60*60 {
+				i := (y*W + x) * 3
+				src[i] = byte(dx + 128)
+				src[i+1] = byte(dy + 128)
+				src[i+2] = 200
+			}
+		}
+	}
+	comp := roundTrip(t, src)
+	if len(comp)*2 > len(src) {
+		t.Fatalf("image-like data compressed only to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	var c Codec
+	cases := [][]byte{
+		{},                      // no header
+		{0x80},                  // truncated uvarint
+		{10, 0xf0},              // literal run past end
+		{10, 0x04, 1},           // match with missing offset
+		{10, 0x04, 1, 0, 0},     // offset 0
+		{10, 0x04, 1, 255, 255}, // offset beyond output
+		{5, 0x10, 1},            // says 5 bytes, delivers 1
+	}
+	for i, src := range cases {
+		if _, err := c.Decompress(src); err == nil {
+			t.Errorf("case %d: corrupt stream accepted", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	var c Codec
+	f := func(src []byte) bool {
+		comp, err := c.Compress(src)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structured quick-check: random runs of repeats and literals, the
+// adversarial shape for LZ token boundaries.
+func TestRunsProperty(t *testing.T) {
+	var c Codec
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src []byte
+		for len(src) < 5000 {
+			if rng.Intn(2) == 0 {
+				run := rng.Intn(300) + 1
+				b := byte(rng.Intn(256))
+				for i := 0; i < run; i++ {
+					src = append(src, b)
+				}
+			} else {
+				lit := make([]byte, rng.Intn(40)+1)
+				rng.Read(lit)
+				src = append(src, lit...)
+			}
+		}
+		comp, err := c.Compress(src)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := imageLike(512)
+	var c Codec
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := imageLike(512)
+	var c Codec
+	comp, err := c.Compress(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func imageLike(n int) []byte {
+	src := make([]byte, n*n*3)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			dx, dy := x-n/2, y-n/2
+			if dx*dx+dy*dy < n*n/16 {
+				i := (y*n + x) * 3
+				src[i] = byte(dx)
+				src[i+1] = byte(dy)
+				src[i+2] = 200
+			}
+		}
+	}
+	return src
+}

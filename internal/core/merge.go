@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/img"
+	"repro/internal/pipeline"
+)
+
+// MergePieces implements the paper's hybrid compression grouping: "a
+// small number of sub-images are combined to form larger sub-images
+// before compression". It coalesces the per-node composited pieces
+// into k pieces by blitting clusters of adjacent regions into their
+// bounding rectangles. Clusters whose pieces do not exactly tile their
+// bounding rectangle would corrupt the frame, so the function verifies
+// coverage and falls back to the original pieces when a clean k-way
+// grouping does not exist for this piece geometry.
+func MergePieces(pieces []pipeline.Piece, k int) ([]pipeline.Piece, error) {
+	n := len(pieces)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no pieces")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k = %d", k)
+	}
+	if k >= n {
+		return pieces, nil
+	}
+	if n%k != 0 {
+		return pieces, nil // no even grouping; keep full parallelism
+	}
+	per := n / k
+	sorted := make([]pipeline.Piece, n)
+	copy(sorted, pieces)
+	sort.Slice(sorted, func(a, b int) bool {
+		ra, rb := sorted[a].Region, sorted[b].Region
+		if ra.Y0 != rb.Y0 {
+			return ra.Y0 < rb.Y0
+		}
+		return ra.X0 < rb.X0
+	})
+	out := make([]pipeline.Piece, 0, k)
+	for c := 0; c < k; c++ {
+		cluster := sorted[c*per : (c+1)*per]
+		bound := cluster[0].Region
+		area := 0
+		for _, p := range cluster {
+			r := p.Region
+			if r.X0 < bound.X0 {
+				bound.X0 = r.X0
+			}
+			if r.Y0 < bound.Y0 {
+				bound.Y0 = r.Y0
+			}
+			if r.X1 > bound.X1 {
+				bound.X1 = r.X1
+			}
+			if r.Y1 > bound.Y1 {
+				bound.Y1 = r.Y1
+			}
+			area += r.Pixels()
+		}
+		if area != bound.Pixels() {
+			// The cluster does not tile a rectangle; merging would
+			// leave holes. Fall back to per-node pieces.
+			return pieces, nil
+		}
+		merged := img.NewRGBA(bound.W(), bound.H())
+		for _, p := range cluster {
+			rel := img.Region{
+				X0: p.Region.X0 - bound.X0, Y0: p.Region.Y0 - bound.Y0,
+				X1: p.Region.X1 - bound.X0, Y1: p.Region.Y1 - bound.Y0,
+			}
+			if err := merged.BlitRGBA(p.Image, rel); err != nil {
+				return nil, fmt.Errorf("core: merging pieces: %w", err)
+			}
+		}
+		out = append(out, pipeline.Piece{Region: bound, Image: merged})
+	}
+	return out, nil
+}

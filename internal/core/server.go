@@ -1,0 +1,341 @@
+// Package core ties the whole system together into the paper's
+// remote-visualization architecture (Figure 2): a render Server that
+// runs the pipelined parallel renderer, compresses composited
+// sub-images in parallel, and ships them through the display daemon to
+// remote viewers; and a Session helper that wires daemon + server +
+// viewer over (optionally WAN-shaped) loopback sockets for experiments
+// and examples.
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compress"
+	// Register the full codec set: servers switch codecs by name on
+	// user-control messages.
+	_ "repro/internal/compress/codecs"
+	"repro/internal/control"
+	"repro/internal/pipeline"
+	"repro/internal/render"
+	"repro/internal/tf"
+	"repro/internal/transport"
+	"repro/internal/vol"
+	"repro/internal/volio"
+)
+
+// ServerOptions configures a render server.
+type ServerOptions struct {
+	// DaemonAddr is the display daemon's address.
+	DaemonAddr string
+	// Wrap optionally wraps the daemon connection (e.g. wan.Shape).
+	Wrap func(net.Conn) net.Conn
+	// P and L are the processor count and group count.
+	P, L int
+	// ImageW, ImageH set the output image size.
+	ImageW, ImageH int
+	// Codec is the initial compression ("raw" models the X baseline).
+	Codec string
+	// Pieces is the number of compressed sub-images per frame: 1
+	// compresses the assembled image, G compresses every node's
+	// piece independently, intermediate values use the paper's
+	// hybrid grouping. 0 means 1.
+	Pieces int
+	// TF is the initial transfer function.
+	TF *tf.TF
+	// View is the initial orbit view; zero value gets a default.
+	View control.ViewEvent
+	// Render are the ray-casting options (zero = defaults).
+	Render render.Options
+	// Steps caps steps per pass (0 = all); Loop repeats passes until
+	// Stop, re-rendering the animation.
+	Steps int
+	Loop  bool
+	// RegionInput enables the §7.1 parallel-I/O input path (requires
+	// the store to support region reads).
+	RegionInput bool
+	// NodeLinks opens one renderer-interface connection per
+	// compressed piece, as in the paper's Figure 2 where each compute
+	// node talks to the daemon itself; pieces of a frame then travel
+	// concurrently. Combine with a wan.Shared wrap so the flows
+	// contend for one modelled physical link.
+	NodeLinks bool
+	// Accel enables per-brick empty-space skipping on the render
+	// nodes (identical images, fewer samples).
+	Accel bool
+	// Background is the gray level composited behind the volume.
+	Background float32
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	FramesSent atomic.Int64
+	BytesSent  atomic.Int64
+	EncodeNS   atomic.Int64
+	RenderNS   atomic.Int64
+}
+
+// Server is the render-cluster side of the system.
+type Server struct {
+	opt   ServerOptions
+	store volio.Store
+	ep    *transport.Endpoint
+	// nodeEps are the extra per-node connections (NodeLinks); piece i
+	// of a frame travels over connection i mod len(eps).
+	nodeEps []*transport.Endpoint
+	ctrl    *control.State
+
+	mu      sync.Mutex
+	view    control.ViewEvent
+	curTF   *tf.TF
+	codec   compress.FrameCodec
+	stride  int
+	stopped bool
+
+	frameID atomic.Uint32
+	stats   ServerStats
+}
+
+// NewServer dials the daemon and prepares a server.
+func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
+	if opt.TF == nil {
+		return nil, fmt.Errorf("core: nil transfer function")
+	}
+	if opt.Codec == "" {
+		opt.Codec = "jpeg+lzo"
+	}
+	if opt.Pieces == 0 {
+		opt.Pieces = 1
+	}
+	g := 0
+	if opt.L > 0 {
+		g = opt.P / opt.L
+	}
+	if opt.Pieces < 1 || (g > 0 && opt.Pieces > g) {
+		return nil, fmt.Errorf("core: pieces %d out of [1,%d]", opt.Pieces, g)
+	}
+	if opt.View == (control.ViewEvent{}) {
+		opt.View = control.ViewEvent{Azimuth: 0.6, Elevation: 0.35, Distance: 1.8}
+	}
+	codec, err := compress.ByName(opt.Codec)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := transport.Dial(opt.DaemonAddr, transport.RoleRenderer, opt.Wrap)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opt:   opt,
+		store: store,
+		ep:    ep,
+		ctrl:  control.NewState(),
+		view:  opt.View,
+		curTF: opt.TF,
+		codec: codec,
+	}
+	if opt.NodeLinks && opt.Pieces > 1 {
+		for i := 1; i < opt.Pieces; i++ {
+			nep, err := transport.Dial(opt.DaemonAddr, transport.RoleRenderer, opt.Wrap)
+			if err != nil {
+				ep.Close()
+				for _, e := range s.nodeEps {
+					e.Close()
+				}
+				return nil, err
+			}
+			s.nodeEps = append(s.nodeEps, nep)
+		}
+	}
+	go s.controlLoop()
+	return s, nil
+}
+
+// endpointFor returns the connection piece i travels on.
+func (s *Server) endpointFor(i int) *transport.Endpoint {
+	if len(s.nodeEps) == 0 || i == 0 {
+		return s.ep
+	}
+	return s.nodeEps[(i-1)%len(s.nodeEps)]
+}
+
+// Stats exposes the server counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// controlLoop ingests remote callbacks from the daemon.
+func (s *Server) controlLoop() {
+	for m := range s.ep.Inbox() {
+		if m.Type != transport.MsgControl {
+			continue
+		}
+		cm, err := transport.UnmarshalControl(m.Payload)
+		if err != nil {
+			continue
+		}
+		// Buffer only; applied between frames (paper §5).
+		_ = s.ctrl.Ingest(cm)
+	}
+}
+
+// applyControl drains buffered user input into the active state.
+func (s *Server) applyControl() {
+	p := s.ctrl.Apply()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.View != nil {
+		s.view = *p.View
+	}
+	if p.Colormap != nil {
+		s.curTF = p.Colormap
+	}
+	if p.Codec != "" {
+		if c, err := compress.ByName(p.Codec); err == nil {
+			s.codec = c
+		}
+	}
+	if p.Stride > 0 {
+		s.stride = p.Stride
+	}
+}
+
+// Stop ends Run after the current frame and closes the connections.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.ep.Close()
+	for _, e := range s.nodeEps {
+		e.Close()
+	}
+}
+
+func (s *Server) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// Run renders and streams until the pass completes (or forever with
+// Loop) — call Stop from another goroutine to end it. Preview-mode
+// stride changes take effect at the next pass.
+func (s *Server) Run() error {
+	for {
+		s.mu.Lock()
+		stride := s.stride
+		s.mu.Unlock()
+		store := volio.Strided(s.store, stride)
+		steps := s.opt.Steps
+		if stride > 1 && steps > 0 {
+			steps = (steps + stride - 1) / stride
+		}
+		popt := pipeline.Options{
+			P: s.opt.P, L: s.opt.L,
+			ImageW: s.opt.ImageW, ImageH: s.opt.ImageH,
+			TF:          s.opt.TF,
+			Render:      s.opt.Render,
+			Steps:       steps,
+			EmitPieces:  true,
+			RegionInput: s.opt.RegionInput,
+			Accel:       s.opt.Accel,
+			TFFn: func(step int) *tf.TF {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return s.curTF
+			},
+			CameraFn: func(step int, d vol.Dims) (*render.Camera, error) {
+				s.mu.Lock()
+				v := s.view
+				s.mu.Unlock()
+				return render.NewOrbitCamera(d, v.Azimuth, v.Elevation, v.Distance)
+			},
+			BeforeStep: func(step int) {
+				s.applyControl()
+				for !s.ctrl.Running() && !s.isStopped() {
+					time.Sleep(5 * time.Millisecond)
+					s.applyControl()
+				}
+			},
+		}
+		_, err := pipeline.Run(store, popt, s.sendFrame)
+		if err != nil {
+			if s.isStopped() {
+				return nil
+			}
+			return err
+		}
+		if !s.opt.Loop || s.isStopped() {
+			return nil
+		}
+	}
+}
+
+// sendFrame compresses a frame's pieces (hybrid-grouped to
+// opt.Pieces) and ships them to the daemon.
+func (s *Server) sendFrame(f *pipeline.Frame) error {
+	if s.isStopped() {
+		return fmt.Errorf("core: server stopped")
+	}
+	s.stats.RenderNS.Add(int64(f.RenderTime + f.CompositeTime))
+	pieces, err := MergePieces(f.Pieces, s.opt.Pieces)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	codec := s.codec
+	s.mu.Unlock()
+	id := s.frameID.Add(1) - 1
+	// With per-node links the pieces are compressed and shipped
+	// concurrently, as the paper's compute nodes do ("as soon as a
+	// processor completes the sub-image it is responsible for
+	// compositing, it compresses and sends the compressed
+	// sub-image").
+	errs := make([]error, len(pieces))
+	var wg sync.WaitGroup
+	for i, p := range pieces {
+		send := func(i int, p pipeline.Piece) {
+			frame := p.Image.ToFrame(s.opt.Background)
+			t0 := time.Now()
+			data, err := codec.EncodeFrame(frame)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s.stats.EncodeNS.Add(int64(time.Since(t0)))
+			msg := &transport.ImageMsg{
+				FrameID:    id,
+				PieceIndex: uint16(i),
+				PieceCount: uint16(len(pieces)),
+				X0:         uint16(p.Region.X0), Y0: uint16(p.Region.Y0),
+				X1: uint16(p.Region.X1), Y1: uint16(p.Region.Y1),
+				W: uint16(s.opt.ImageW), H: uint16(s.opt.ImageH),
+				Codec: codec.Name(),
+				Data:  data,
+			}
+			if err := s.endpointFor(i).SendImage(msg); err != nil {
+				errs[i] = err
+				return
+			}
+			s.stats.BytesSent.Add(int64(len(data)))
+		}
+		if len(s.nodeEps) > 0 {
+			wg.Add(1)
+			go func(i int, p pipeline.Piece) {
+				defer wg.Done()
+				send(i, p)
+			}(i, p)
+		} else {
+			send(i, p)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.stats.FramesSent.Add(1)
+	return nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"net"
+
+	"repro/internal/display"
+	"repro/internal/transport"
+	"repro/internal/volio"
+	"repro/internal/wan"
+)
+
+// Session wires a complete local system: display daemon, render
+// server, and viewer, with the server→daemon leg shaped to a WAN
+// profile — the standard fixture for the paper's transport
+// experiments and for the examples.
+type Session struct {
+	Daemon *transport.Daemon
+	Server *Server
+	Viewer *display.Viewer
+
+	serverErr chan error
+}
+
+// SessionOptions configures StartSession.
+type SessionOptions struct {
+	// Server holds the render-side options; DaemonAddr and Wrap are
+	// filled in by StartSession.
+	Server ServerOptions
+	// Link shapes the renderer→daemon connection (the wide-area leg
+	// in the paper's topology runs daemon→display; shaping the
+	// renderer leg is equivalent for a single viewer and keeps the
+	// daemon co-located with the display as in Figure 2).
+	Link wan.Profile
+}
+
+// StartSession launches daemon, server, and viewer on loopback.
+func StartSession(store volio.Store, opt SessionOptions) (*Session, error) {
+	d, err := transport.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sopt := opt.Server
+	sopt.DaemonAddr = d.Addr().String()
+	if opt.Link.Bandwidth > 0 || opt.Link.Latency > 0 {
+		// One shared bucket: all renderer connections (one per node
+		// with NodeLinks) contend for the same modelled physical link.
+		shared := wan.NewShared(opt.Link)
+		sopt.Wrap = func(c net.Conn) net.Conn { return shared.Wrap(c) }
+	}
+	srv, err := NewServer(store, sopt)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	dispEp, err := transport.Dial(d.Addr().String(), transport.RoleDisplay, nil)
+	if err != nil {
+		srv.Stop()
+		d.Close()
+		return nil, err
+	}
+	s := &Session{
+		Daemon:    d,
+		Server:    srv,
+		Viewer:    display.NewViewer(dispEp),
+		serverErr: make(chan error, 1),
+	}
+	go func() { s.serverErr <- srv.Run() }()
+	return s, nil
+}
+
+// Wait blocks until the server's streaming pass finishes and returns
+// its error.
+func (s *Session) Wait() error { return <-s.serverErr }
+
+// Close tears the whole session down.
+func (s *Session) Close() error {
+	s.Server.Stop()
+	s.Viewer.Close()
+	err := s.Daemon.Close()
+	select {
+	case e := <-s.serverErr:
+		if e != nil && err == nil {
+			err = e
+		}
+	default:
+	}
+	return err
+}

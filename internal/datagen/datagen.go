@@ -1,0 +1,429 @@
+// Package datagen synthesizes the paper's three time-varying CFD test
+// datasets. The originals (a numerically simulated turbulent jet, a
+// pseudo-spectral turbulent-vortex run, and a NERSC shock/bubble
+// fluid-mixing simulation) are not available, so each generator
+// produces a deterministic procedural field on the same grid with the
+// same qualitative character the evaluation depends on:
+//
+//   - jet: sparse plume — few opaque pixels, compresses very well;
+//   - vortex: dense broadband vorticity — high pixel coverage,
+//     compresses poorly (paper §6: transport can exceed render time);
+//   - mixing: 16x more data points than the small sets with three
+//     velocity components — rendering dominates, transport negligible.
+//
+// All generators are pure functions of (seed, step), so any node of
+// the simulated cluster can regenerate any time step independently —
+// the stand-in for reading the shared dataset from mass storage.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vol"
+)
+
+// Generator produces the scalar field of any time step of a
+// time-varying dataset.
+type Generator interface {
+	// Name identifies the dataset ("jet", "vortex", "mixing").
+	Name() string
+	// Dims returns the grid resolution of every time step.
+	Dims() vol.Dims
+	// Steps returns the number of time steps.
+	Steps() int
+	// Step synthesizes time step t (0 <= t < Steps()).
+	Step(t int) (*vol.Volume, error)
+}
+
+// checkStep validates a step index against a generator's range.
+func checkStep(g Generator, t int) error {
+	if t < 0 || t >= g.Steps() {
+		return fmt.Errorf("datagen: %s step %d out of range [0,%d)", g.Name(), t, g.Steps())
+	}
+	return nil
+}
+
+// Jet generates the turbulent-jet dataset: paper dimensions
+// 129x129x104 with 150 time steps, scalar vorticity. The synthetic
+// field is a buoyant plume along +z with helical instability modes
+// whose phase advances with time, so consecutive steps are coherent —
+// the property frame-differencing compression would exploit.
+type Jet struct {
+	dims  vol.Dims
+	steps int
+	seed  int64
+}
+
+// NewJet returns the paper-scale jet generator.
+func NewJet() *Jet { return &Jet{dims: vol.Dims{NX: 129, NY: 129, NZ: 104}, steps: 150, seed: 1} }
+
+// NewJetScaled returns a jet generator with reduced grid and step
+// count for fast tests and calibration runs. scale must be in (0,1].
+func NewJetScaled(scale float64, steps int) *Jet {
+	d := scaleDims(vol.Dims{NX: 129, NY: 129, NZ: 104}, scale)
+	return &Jet{dims: d, steps: steps, seed: 1}
+}
+
+// Name implements Generator.
+func (j *Jet) Name() string { return "jet" }
+
+// Dims implements Generator.
+func (j *Jet) Dims() vol.Dims { return j.dims }
+
+// Steps implements Generator.
+func (j *Jet) Steps() int { return j.steps }
+
+// Step implements Generator.
+func (j *Jet) Step(t int) (*vol.Volume, error) {
+	if err := checkStep(j, t); err != nil {
+		return nil, err
+	}
+	v, err := vol.New(j.dims)
+	if err != nil {
+		return nil, err
+	}
+	nx, ny, nz := j.dims.NX, j.dims.NY, j.dims.NZ
+	cx, cy := float64(nx-1)/2, float64(ny-1)/2
+	tt := float64(t) * 0.12
+	rng := newSplitMix(j.seed)
+	// Three helical instability modes with random-but-fixed phases.
+	type mode struct{ k, m, amp, phase, drift float64 }
+	modes := make([]mode, 3)
+	for i := range modes {
+		modes[i] = mode{
+			k:     0.35 + 0.25*float64(i),
+			m:     float64(i + 1),
+			amp:   0.30 / float64(i+1),
+			phase: rng.float() * 2 * math.Pi,
+			drift: 0.8 + 0.5*rng.float(),
+		}
+	}
+	// Fine-scale turbulence riding on the plume: broadband modes with
+	// a k^-1 amplitude falloff. Real turbulent vorticity is broadband;
+	// without this the rendered images are unrealistically smooth and
+	// lossless codecs flatten them far more than the paper's Table 1
+	// reports.
+	type fmode struct{ kx, ky, kz, amp, phase, omega float64 }
+	fine := make([]fmode, 8)
+	for i := range fine {
+		k := 0.6 + 1.8*rng.float()
+		fine[i] = fmode{
+			kx: k * (rng.float()*2 - 1), ky: k * (rng.float()*2 - 1), kz: k * (rng.float()*2 - 1),
+			amp:   0.25 / (1 + k),
+			phase: rng.float() * 2 * math.Pi,
+			omega: 1 + 2*rng.float(),
+		}
+	}
+	i := 0
+	// Plume geometry scales with the grid so reduced-resolution
+	// volumes keep the same (sparse) occupancy as the full dataset.
+	unit := float64(nx) / 129.0
+	for z := 0; z < nz; z++ {
+		zf := float64(z) / float64(nz-1)
+		// The plume widens with height and meanders over time.
+		wobX := 4 * unit * math.Sin(0.9*tt+3.1*zf)
+		wobY := 4 * unit * math.Cos(0.7*tt+2.3*zf)
+		radius := (3 + 9*zf) * unit
+		for y := 0; y < ny; y++ {
+			dy := float64(y) - cy - wobY
+			for x := 0; x < nx; x++ {
+				dx := float64(x) - cx - wobX
+				r := math.Sqrt(dx*dx + dy*dy)
+				theta := math.Atan2(dy, dx)
+				// Gaussian core falloff keeps the field sparse.
+				core := math.Exp(-(r * r) / (2 * radius * radius))
+				s := core
+				for _, m := range modes {
+					s += core * m.amp * math.Sin(m.m*theta+m.k*float64(z)-m.drift*tt+m.phase)
+				}
+				if core > 1e-3 {
+					var f float64
+					for _, m := range fine {
+						f += m.amp * math.Sin(m.kx*dx/unit+m.ky*dy/unit+m.kz*float64(z)/unit+m.omega*tt+m.phase)
+					}
+					s += core * f
+				}
+				// Vorticity strongest in the shear layer, fading at the inlet.
+				shear := math.Exp(-sq(r-radius) / (radius * radius))
+				val := (0.6*s + 0.7*shear*core) * (0.3 + 0.7*zf)
+				if val < 0 {
+					val = 0
+				}
+				v.Data[i] = float32(val)
+				i++
+			}
+		}
+	}
+	v.UpdateRange()
+	return v, nil
+}
+
+// Vortex generates the turbulent-vortex dataset: 128^3 grid, 100 time
+// steps of scalar vorticity magnitude from a pseudo-spectral-style sum
+// of band-limited Fourier modes. The field is nonzero nearly
+// everywhere, reproducing the dense pixel coverage the paper reports.
+type Vortex struct {
+	dims  vol.Dims
+	steps int
+	seed  int64
+	nmode int
+}
+
+// NewVortex returns the paper-scale vortex generator.
+func NewVortex() *Vortex {
+	return &Vortex{dims: vol.Dims{NX: 128, NY: 128, NZ: 128}, steps: 100, seed: 2, nmode: 16}
+}
+
+// NewVortexScaled returns a reduced vortex generator for tests.
+func NewVortexScaled(scale float64, steps int) *Vortex {
+	return &Vortex{dims: scaleDims(vol.Dims{NX: 128, NY: 128, NZ: 128}, scale), steps: steps, seed: 2, nmode: 16}
+}
+
+// Name implements Generator.
+func (g *Vortex) Name() string { return "vortex" }
+
+// Dims implements Generator.
+func (g *Vortex) Dims() vol.Dims { return g.dims }
+
+// Steps implements Generator.
+func (g *Vortex) Steps() int { return g.steps }
+
+// Step implements Generator.
+func (g *Vortex) Step(t int) (*vol.Volume, error) {
+	if err := checkStep(g, t); err != nil {
+		return nil, err
+	}
+	v, err := vol.New(g.dims)
+	if err != nil {
+		return nil, err
+	}
+	nx, ny, nz := g.dims.NX, g.dims.NY, g.dims.NZ
+	rng := newSplitMix(g.seed)
+	type mode struct {
+		kx, ky, kz float64
+		amp, phase float64
+		omega      float64
+	}
+	modes := make([]mode, g.nmode)
+	for i := range modes {
+		// Band-limited wave vectors with a k^-5/6 style amplitude
+		// falloff, echoing a turbulence spectrum.
+		kx := math.Floor(rng.float()*6) + 1
+		ky := math.Floor(rng.float()*6) + 1
+		kz := math.Floor(rng.float()*6) + 1
+		kmag := math.Sqrt(kx*kx + ky*ky + kz*kz)
+		modes[i] = mode{
+			kx: kx, ky: ky, kz: kz,
+			amp:   1 / math.Pow(kmag, 0.83),
+			phase: rng.float() * 2 * math.Pi,
+			omega: 0.2 + 0.6*rng.float(),
+		}
+	}
+	tt := float64(t) * 0.15
+	// Precompute per-axis angles to keep the inner loop cheap.
+	sinTab := func(n int, scale float64) []float64 {
+		tab := make([]float64, n)
+		for i := 0; i < n; i++ {
+			tab[i] = float64(i) * scale
+		}
+		return tab
+	}
+	xs := sinTab(nx, 2*math.Pi/float64(nx))
+	ys := sinTab(ny, 2*math.Pi/float64(ny))
+	zs := sinTab(nz, 2*math.Pi/float64(nz))
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				var s float64
+				for _, m := range modes {
+					s += m.amp * math.Sin(m.kx*xs[x]+m.ky*ys[y]+m.kz*zs[z]+m.phase+m.omega*tt)
+				}
+				// Vorticity magnitude is non-negative and broadband.
+				v.Data[i] = float32(math.Abs(s))
+				i++
+			}
+		}
+	}
+	v.UpdateRange()
+	return v, nil
+}
+
+// Mixing generates the shock/bubble fluid-mixing dataset: paper
+// dimensions 640x256x256 with 265 time steps and three velocity
+// components per point (the rendered scalar is velocity magnitude, as
+// for the resampled AMR data the paper used). A planar shock sweeps
+// through an ambient medium containing a denser spherical bubble; the
+// passage deforms the bubble and leaves a turbulent wake.
+type Mixing struct {
+	dims  vol.Dims
+	steps int
+	seed  int64
+}
+
+// NewMixing returns the paper-scale mixing generator (44 GB at full
+// size — prefer NewMixingScaled unless disk-backed streaming is used).
+func NewMixing() *Mixing {
+	return &Mixing{dims: vol.Dims{NX: 640, NY: 256, NZ: 256}, steps: 265, seed: 3}
+}
+
+// NewMixingScaled returns a reduced mixing generator.
+func NewMixingScaled(scale float64, steps int) *Mixing {
+	return &Mixing{dims: scaleDims(vol.Dims{NX: 640, NY: 256, NZ: 256}, scale), steps: steps, seed: 3}
+}
+
+// Name implements Generator.
+func (g *Mixing) Name() string { return "mixing" }
+
+// Dims implements Generator.
+func (g *Mixing) Dims() vol.Dims { return g.dims }
+
+// Steps implements Generator.
+func (g *Mixing) Steps() int { return g.steps }
+
+// VelocityAt returns the synthetic velocity components at grid point
+// (x,y,z) of step t; Step renders their magnitude. Exposed so the
+// storage layer can write all three components as the paper's dataset
+// stores them.
+func (g *Mixing) VelocityAt(t, x, y, z int) (vx, vy, vz float64) {
+	nx, ny, nz := g.dims.NX, g.dims.NY, g.dims.NZ
+	progress := float64(t) / float64(maxInt(g.steps-1, 1))
+	// Shock front position sweeps along x over the run.
+	front := (progress*1.2 - 0.1) * float64(nx)
+	xf, yf, zf := float64(x), float64(y), float64(z)
+	cy, cz := float64(ny)/2, float64(nz)/2
+	bubbleX := float64(nx) * 0.35
+	bubbleR := float64(ny) * 0.3
+
+	// Base flow: fluid behind the shock moves in +x.
+	behind := sigmoid((front - xf) / 6)
+	vx = behind * 1.0
+
+	// Bubble deformation: past the shock the bubble becomes a vortex
+	// ring; model as swirling flow around a ring centered at the
+	// (advected) bubble.
+	adv := bubbleX + behind*0.3*(front-bubbleX)
+	dx := xf - adv
+	dy := yf - cy
+	dz := zf - cz
+	rr := math.Sqrt(dy*dy + dz*dz)
+	ring := math.Exp(-(sq(dx) + sq(rr-bubbleR*0.7)) / (2 * sq(bubbleR*0.35)))
+	swirl := ring * behind * 2.0
+	if rr > 1e-9 {
+		// Poloidal roll-up: velocity circulates in the (x, r) plane.
+		vx += swirl * (rr - bubbleR*0.7) / bubbleR
+		vy += -swirl * dx / bubbleR * (dy / rr)
+		vz += -swirl * dx / bubbleR * (dz / rr)
+	}
+	// Turbulent wake behind the bubble after shock passage.
+	if behind > 0.5 && dx < 0 {
+		wake := math.Exp(-rr*rr/(2*sq(bubbleR))) * behind
+		vy += 0.4 * wake * math.Sin(0.5*dx+0.3*yf+0.1*float64(t))
+		vz += 0.4 * wake * math.Cos(0.4*dx+0.3*zf-0.1*float64(t))
+	}
+	return vx, vy, vz
+}
+
+// Step implements Generator: the scalar field is velocity magnitude.
+func (g *Mixing) Step(t int) (*vol.Volume, error) {
+	if err := checkStep(g, t); err != nil {
+		return nil, err
+	}
+	v, err := vol.New(g.dims)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for z := 0; z < g.dims.NZ; z++ {
+		for y := 0; y < g.dims.NY; y++ {
+			for x := 0; x < g.dims.NX; x++ {
+				vx, vy, vz := g.VelocityAt(t, x, y, z)
+				v.Data[i] = float32(math.Sqrt(vx*vx + vy*vy + vz*vz))
+				i++
+			}
+		}
+	}
+	v.UpdateRange()
+	return v, nil
+}
+
+// ByName constructs a generator from a dataset name, at an optional
+// scale (1.0 = paper size) and step count (0 = paper count).
+func ByName(name string, scale float64, steps int) (Generator, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("datagen: scale %v out of (0,1]", scale)
+	}
+	switch name {
+	case "jet":
+		if steps == 0 {
+			steps = 150
+		}
+		if scale == 1 {
+			g := NewJet()
+			g.steps = steps
+			return g, nil
+		}
+		return NewJetScaled(scale, steps), nil
+	case "vortex":
+		if steps == 0 {
+			steps = 100
+		}
+		if scale == 1 {
+			g := NewVortex()
+			g.steps = steps
+			return g, nil
+		}
+		return NewVortexScaled(scale, steps), nil
+	case "mixing":
+		if steps == 0 {
+			steps = 265
+		}
+		if scale == 1 {
+			g := NewMixing()
+			g.steps = steps
+			return g, nil
+		}
+		return NewMixingScaled(scale, steps), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q (have jet, vortex, mixing)", name)
+}
+
+func scaleDims(d vol.Dims, s float64) vol.Dims {
+	f := func(n int) int {
+		m := int(math.Round(float64(n) * s))
+		if m < 4 {
+			m = 4
+		}
+		return m
+	}
+	return vol.Dims{NX: f(d.NX), NY: f(d.NY), NZ: f(d.NZ)}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) so generators do
+// not depend on math/rand ordering guarantees across Go versions.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{s: uint64(seed)*0x9e3779b97f4a7c15 + 1} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0,1).
+func (r *splitMix) float() float64 { return float64(r.next()>>11) / (1 << 53) }

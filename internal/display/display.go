@@ -1,0 +1,324 @@
+// Package display implements the display-interface side of the
+// paper's framework: decompression of incoming image pieces, assembly
+// of parallel-compressed sub-images into full frames, and a frame sink
+// (save to disk or in-memory framebuffer). The uncompressed "X Window"
+// baseline is the same path with the raw codec.
+package display
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+	// Register the full codec set: frames name their codec on the
+	// wire and the assembler resolves it by name.
+	_ "repro/internal/compress/codecs"
+	"repro/internal/img"
+	"repro/internal/transport"
+)
+
+// Frame is a fully assembled display frame.
+type Frame struct {
+	ID    uint32
+	Image *img.Frame
+	// DecodeTime is the total codec decode time across the frame's
+	// pieces; AssembleTime covers piece blits.
+	DecodeTime   time.Duration
+	AssembleTime time.Duration
+	// Bytes is the total compressed payload size received.
+	Bytes int
+	// Pieces is the number of sub-images the frame arrived as.
+	Pieces int
+}
+
+// Assembler turns incoming image messages into complete frames. It
+// tolerates out-of-order pieces across a bounded number of concurrent
+// frames; older incomplete frames are evicted (counted as lost).
+type Assembler struct {
+	mu sync.Mutex
+	// MaxInFlight bounds concurrently assembling frames (default 4).
+	MaxInFlight int
+
+	pending map[uint32]*partial
+	order   []uint32 // insertion order for eviction
+	lost    int
+
+	codecCache map[string]compress.FrameCodec
+	// DecodeFast is recorded for decoders that honor a speed knob;
+	// kept here so a codec switch can re-resolve by name.
+	lookup func(string) (compress.FrameCodec, error)
+}
+
+type partial struct {
+	frame *Frame
+	need  int
+}
+
+// NewAssembler builds an assembler resolving codecs through
+// compress.ByName (override lookup in tests).
+func NewAssembler() *Assembler {
+	return &Assembler{
+		MaxInFlight: 4,
+		pending:     map[uint32]*partial{},
+		codecCache:  map[string]compress.FrameCodec{},
+		lookup:      compress.ByName,
+	}
+}
+
+// Lost reports evicted incomplete frames.
+func (a *Assembler) Lost() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lost
+}
+
+func (a *Assembler) codec(name string) (compress.FrameCodec, error) {
+	if c, ok := a.codecCache[name]; ok {
+		return c, nil
+	}
+	c, err := a.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	a.codecCache[name] = c
+	return c, nil
+}
+
+// Ingest processes one image message; it returns the completed frame
+// when this piece was the last one, else nil.
+func (a *Assembler) Ingest(m *transport.ImageMsg) (*Frame, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, err := a.codec(m.Codec)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	piece, err := c.DecodeFrame(m.Data)
+	if err != nil {
+		return nil, fmt.Errorf("display: decoding frame %d piece %d: %w", m.FrameID, m.PieceIndex, err)
+	}
+	decodeTime := time.Since(t0)
+
+	reg := img.Region{X0: int(m.X0), Y0: int(m.Y0), X1: int(m.X1), Y1: int(m.Y1)}
+	if piece.W != reg.W() || piece.H != reg.H() {
+		return nil, fmt.Errorf("display: piece %dx%d does not match region %v", piece.W, piece.H, reg)
+	}
+
+	p, ok := a.pending[m.FrameID]
+	if !ok {
+		p = &partial{
+			frame: &Frame{ID: m.FrameID, Image: img.NewFrame(int(m.W), int(m.H))},
+			need:  int(m.PieceCount),
+		}
+		a.pending[m.FrameID] = p
+		a.order = append(a.order, m.FrameID)
+		a.evictLocked()
+	}
+	if p.frame.Image.W != int(m.W) || p.frame.Image.H != int(m.H) {
+		return nil, fmt.Errorf("display: frame %d size changed mid-assembly", m.FrameID)
+	}
+	t1 := time.Now()
+	if err := p.frame.Image.Blit(piece, reg); err != nil {
+		return nil, fmt.Errorf("display: assembling frame %d: %w", m.FrameID, err)
+	}
+	p.frame.AssembleTime += time.Since(t1)
+	p.frame.DecodeTime += decodeTime
+	p.frame.Bytes += len(m.Data)
+	p.frame.Pieces++
+	if p.frame.Pieces < p.need {
+		return nil, nil
+	}
+	delete(a.pending, m.FrameID)
+	a.removeOrder(m.FrameID)
+	return p.frame, nil
+}
+
+func (a *Assembler) evictLocked() {
+	max := a.MaxInFlight
+	if max <= 0 {
+		max = 4
+	}
+	for len(a.pending) > max {
+		victim := a.order[0]
+		a.order = a.order[1:]
+		if _, ok := a.pending[victim]; ok {
+			delete(a.pending, victim)
+			a.lost++
+		}
+	}
+}
+
+func (a *Assembler) removeOrder(id uint32) {
+	for i, v := range a.order {
+		if v == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Viewer drives an Endpoint: it ingests image messages and delivers
+// completed frames on Frames, recording per-frame timing. It is the
+// "display interface + display application" pair of the paper.
+type Viewer struct {
+	ep  *transport.Endpoint
+	asm *Assembler
+
+	frames chan *Frame
+	errs   chan error
+	done   chan struct{}
+	once   sync.Once
+
+	mu    sync.Mutex
+	stats ViewerStats
+
+	// history keeps the most recent frames for review (§7.1: "a
+	// mechanism for the user to review previously viewed images").
+	history      []*Frame
+	HistoryDepth int
+}
+
+// ViewerStats aggregates what the viewer saw.
+type ViewerStats struct {
+	Frames      int
+	Bytes       int64
+	DecodeTime  time.Duration
+	FirstFrame  time.Time
+	LastFrame   time.Time
+	interArrive []time.Duration
+}
+
+// FPS returns the average displayed frame rate.
+func (s *ViewerStats) FPS() float64 {
+	if s.Frames < 2 {
+		return 0
+	}
+	el := s.LastFrame.Sub(s.FirstFrame).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.Frames-1) / el
+}
+
+// NewViewer wraps a connected display endpoint.
+func NewViewer(ep *transport.Endpoint) *Viewer {
+	v := &Viewer{
+		ep:           ep,
+		asm:          NewAssembler(),
+		frames:       make(chan *Frame, 16),
+		errs:         make(chan error, 1),
+		done:         make(chan struct{}),
+		HistoryDepth: 16,
+	}
+	go v.loop()
+	return v
+}
+
+// History returns the most recently displayed frames, oldest first.
+func (v *Viewer) History() []*Frame {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Frame, len(v.history))
+	copy(out, v.history)
+	return out
+}
+
+// Review returns the retained frame with the given ID, or nil if it
+// has aged out of the history.
+func (v *Viewer) Review(id uint32) *Frame {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, f := range v.history {
+		if f.ID == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// Frames delivers completed frames; closed when the connection ends.
+func (v *Viewer) Frames() <-chan *Frame { return v.frames }
+
+// Err reports the first fatal error, if any.
+func (v *Viewer) Err() error {
+	select {
+	case err := <-v.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// SendControl forwards a user-control message to the daemon.
+func (v *Viewer) SendControl(m *transport.ControlMsg) error { return v.ep.SendControl(m) }
+
+// Stats snapshots the viewer counters.
+func (v *Viewer) Stats() ViewerStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// Close shuts the endpoint down.
+func (v *Viewer) Close() error {
+	var err error
+	v.once.Do(func() {
+		err = v.ep.Close()
+	})
+	return err
+}
+
+func (v *Viewer) loop() {
+	defer close(v.frames)
+	for m := range v.ep.Inbox() {
+		if m.Type != transport.MsgImage {
+			continue
+		}
+		im, err := transport.UnmarshalImage(m.Payload)
+		if err != nil {
+			v.fail(err)
+			return
+		}
+		fr, err := v.asm.Ingest(im)
+		if err != nil {
+			v.fail(err)
+			return
+		}
+		if fr == nil {
+			continue
+		}
+		now := time.Now()
+		v.mu.Lock()
+		if v.stats.Frames == 0 {
+			v.stats.FirstFrame = now
+		} else {
+			v.stats.interArrive = append(v.stats.interArrive, now.Sub(v.stats.LastFrame))
+		}
+		v.stats.LastFrame = now
+		v.stats.Frames++
+		v.stats.Bytes += int64(fr.Bytes)
+		v.stats.DecodeTime += fr.DecodeTime
+		depth := v.HistoryDepth
+		if depth > 0 {
+			v.history = append(v.history, fr)
+			if len(v.history) > depth {
+				v.history = v.history[len(v.history)-depth:]
+			}
+		}
+		v.mu.Unlock()
+		select {
+		case v.frames <- fr:
+		case <-v.done:
+			return
+		}
+	}
+}
+
+func (v *Viewer) fail(err error) {
+	select {
+	case v.errs <- err:
+	default:
+	}
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCtx() (*Context, *strings.Builder) {
+	var b strings.Builder
+	return New(&b, true), &b
+}
+
+func TestTable1Shapes(t *testing.T) {
+	c, out := quickCtx()
+	res, err := c.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sizes {
+		raw := res.Bytes["raw"][s]
+		if raw != s*s*3 {
+			t.Fatalf("raw bytes %d at %d", raw, s)
+		}
+		lzo := res.Bytes["lzo"][s]
+		bz := res.Bytes["bzip"][s]
+		jp := res.Bytes["jpeg"][s]
+		jl := res.Bytes["jpeg+lzo"][s]
+		// Paper Table 1 ordering: raw > lzo > bzip > jpeg, and the
+		// two-phase chain shaves more off.
+		if !(raw > lzo && lzo > bz && bz > jp) {
+			t.Fatalf("ordering broken at %d: raw=%d lzo=%d bzip=%d jpeg=%d", s, raw, lzo, bz, jp)
+		}
+		if jl >= jp {
+			t.Fatalf("jpeg+lzo (%d) not smaller than jpeg (%d) at %d", jl, jp, s)
+		}
+		// "The compression rates we have achieved are 96% and up."
+		if r := res.Ratio("jpeg", s); r > 0.04 {
+			t.Fatalf("jpeg ratio %.3f at %d — paper reports >=96%% reduction", r, s)
+		}
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Fatal("table not printed")
+	}
+}
+
+func TestFig8Table2Shapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevAdvantage := 0.0
+	for _, s := range res.Sizes {
+		x, cp := res.X[s], res.Comp[s]
+		if cp.Total() >= x.Total() {
+			t.Fatalf("at %d: compression display %v not faster than X %v", s, cp.Total(), x.Total())
+		}
+		if cp.FPS() <= x.FPS() {
+			t.Fatalf("at %d: compression fps %.2f not above X %.2f", s, cp.FPS(), x.FPS())
+		}
+		// "as the image size increases, the benefit of using
+		// compression becomes even more dramatic."
+		adv := x.Total().Seconds() / cp.Total().Seconds()
+		if adv < prevAdvantage*0.8 {
+			t.Fatalf("advantage shrank with size: %.1f after %.1f", adv, prevAdvantage)
+		}
+		prevAdvantage = adv
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig6Ps {
+		// "An optimal partition does exist and it is four for all
+		// three processor sizes."
+		if res.OptimalL[p] != 4 {
+			t.Errorf("P=%d: optimal L = %d, paper reports 4", p, res.OptimalL[p])
+		}
+		if res.Overall[p][1] <= res.Overall[p][4] {
+			t.Errorf("P=%d: L=1 not worse than L=4", p)
+		}
+		if res.Overall[p][p] <= res.Overall[p][4] {
+			t.Errorf("P=%d: L=P not worse than L=4", p)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Startup latency monotonically increases with L.
+	for i := 1; i < len(res.Ls); i++ {
+		if res.Startup[res.Ls[i]] < res.Startup[res.Ls[i-1]] {
+			t.Fatalf("startup not monotone at L=%d", res.Ls[i])
+		}
+	}
+	// Inter-frame delay exhibits a curve similar to overall time: the
+	// IFD at the overall optimum is within 5% of the best IFD
+	// anywhere (the curve flattens across the input-bound plateau, so
+	// comparing argmin positions alone is meaningless).
+	bestO, bestI := res.Ls[0], res.Ls[0]
+	for _, l := range res.Ls {
+		if res.Overall[l] < res.Overall[bestO] {
+			bestO = l
+		}
+		if res.InterFrame[l] < res.InterFrame[bestI] {
+			bestI = l
+		}
+	}
+	if res.InterFrame[bestO].Seconds() > 1.05*res.InterFrame[bestI].Seconds() {
+		t.Fatalf("IFD at overall optimum (L=%d: %v) not near best IFD (L=%d: %v)",
+			bestO, res.InterFrame[bestO], bestI, res.InterFrame[bestI])
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.X) - 1
+	// X: at the largest size the display time is comparable to (or
+	// exceeds) the render time.
+	if res.X[last].Display.Seconds() < 0.5*res.X[last].Render.Seconds() {
+		t.Fatalf("X display %v ≪ render %v at %d — paper shows display ~ render",
+			res.X[last].Display, res.X[last].Render, res.X[last].Size)
+	}
+	// Daemon: rendering dominates, not transmission.
+	for _, r := range res.Daemon {
+		if r.Display.Seconds() > 0.5*r.Render.Seconds() {
+			t.Fatalf("daemon display %v not ≪ render %v at %d", r.Display, r.Render, r.Size)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	single := res.Points[0].Decode
+	many := res.Points[len(res.Points)-1]
+	// "the decompression time increases significantly with 16 or more
+	// processors" — the most-pieces case must cost more than the
+	// single image.
+	if many.Decode <= single {
+		t.Fatalf("decoding %d pieces (%v) not slower than one image (%v)",
+			many.Pieces, many.Decode, single)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sizes {
+		if res.Comp[s].Total() >= res.X[s].Total() {
+			t.Fatalf("at %d: daemon %v not faster than X %v", s, res.Comp[s].Total(), res.X[s].Total())
+		}
+	}
+}
+
+// Japan X transfers take roughly twice the NASA ones (paper: "almost
+// twice longer").
+func TestJapanVsNASARatio(t *testing.T) {
+	c, _ := quickCtx()
+	nasa, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	japan, err := c.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nasa.Sizes[len(nasa.Sizes)-1]
+	ratio := japan.X[s].Transfer.Seconds() / nasa.X[s].Transfer.Seconds()
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("Japan/NASA X transfer ratio %.2f outside [1.5,3]", ratio)
+	}
+}
+
+func TestDatasetsShapes(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jet, vortex, mixing := res.Row("jet"), res.Row("vortex"), res.Row("mixing")
+	if jet == nil || vortex == nil || mixing == nil {
+		t.Fatal("missing rows")
+	}
+	// Vortex images have more pixel coverage and compress worse.
+	if vortex.CompressedBytes <= jet.CompressedBytes {
+		t.Fatalf("vortex frame (%d B) not larger than jet (%d B)", vortex.CompressedBytes, jet.CompressedBytes)
+	}
+	// Mixing renders much slower than transport ("the image transport
+	// time is only one tenth of the rendering time" at paper scale;
+	// require a clear dominance here).
+	if mixing.RenderPerFrame.Seconds() < 2*mixing.TransportPerFrame.Seconds() {
+		t.Fatalf("mixing render %v not ≫ transport %v", mixing.RenderPerFrame, mixing.TransportPerFrame)
+	}
+	// Mixing renders slower than the small datasets (16x more data).
+	if mixing.RenderPerFrame <= jet.RenderPerFrame {
+		t.Fatalf("mixing render %v not slower than jet %v", mixing.RenderPerFrame, jet.RenderPerFrame)
+	}
+}
+
+func TestHybridSweep(t *testing.T) {
+	c, _ := quickCtx()
+	res, err := c.Hybrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// More pieces -> more total bytes (per-piece codec overhead), the
+	// cost the hybrid grouping controls.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.BytesPerFrame <= first.BytesPerFrame {
+		t.Fatalf("bytes did not grow with pieces: %d (k=%d) vs %d (k=%d)",
+			first.BytesPerFrame, first.Pieces, last.BytesPerFrame, last.Pieces)
+	}
+	for _, p := range res.Points {
+		if p.DecodePerFrame <= 0 || p.WirePerFrame <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/tf"
+	"repro/internal/volio"
+	"repro/internal/wan"
+)
+
+// HybridPoint measures one parallel-compression grouping choice end to
+// end through a real session.
+type HybridPoint struct {
+	// Pieces is the number of compressed sub-images per frame.
+	Pieces int
+	// BytesPerFrame is the mean compressed payload per frame.
+	BytesPerFrame int
+	// DecodePerFrame is the viewer's mean decode+assembly time.
+	DecodePerFrame time.Duration
+	// WirePerFrame is the modelled link serialization time for the
+	// payload on the experiment's WAN profile.
+	WirePerFrame time.Duration
+}
+
+// Total estimates the display-path cost per frame.
+func (p HybridPoint) Total() time.Duration { return p.DecodePerFrame + p.WirePerFrame }
+
+// HybridResult sweeps the sub-image grouping of §4's parallel
+// compression — the design space behind Figure 10's hybrid suggestion,
+// measured through the complete real system (daemon + server +
+// viewer).
+type HybridResult struct {
+	Points []HybridPoint
+	Link   wan.Profile
+}
+
+// Hybrid runs the sweep.
+func (c *Context) Hybrid() (*HybridResult, error) {
+	const (
+		p     = 8
+		steps = 4
+	)
+	size := 256
+	scale := 0.4
+	if c.Quick {
+		size = 96
+		scale = 0.15
+	}
+	link := wan.NASAUCD()
+	res := &HybridResult{Link: link}
+	for _, k := range []int{1, 2, 4, 8} {
+		store := volio.NewGenStore(datagen.NewJetScaled(scale, steps))
+		sess, err := core.StartSession(store, core.SessionOptions{
+			Server: core.ServerOptions{
+				P: p, L: 1,
+				ImageW: size, ImageH: size,
+				Codec: "jpeg+lzo", Pieces: k, TF: tf.Jet(),
+				Steps: steps,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		got := 0
+		var bytes int
+		var decode time.Duration
+		timeout := time.After(60 * time.Second)
+	recv:
+		for got < steps {
+			select {
+			case fr, ok := <-sess.Viewer.Frames():
+				if !ok {
+					sess.Close()
+					return nil, fmt.Errorf("hybrid k=%d: stream ended: %v", k, sess.Viewer.Err())
+				}
+				got++
+				bytes += fr.Bytes
+				decode += fr.DecodeTime + fr.AssembleTime
+			case <-timeout:
+				sess.Close()
+				return nil, fmt.Errorf("hybrid k=%d: timed out with %d frames", k, got)
+			}
+			if got == steps {
+				break recv
+			}
+		}
+		if err := sess.Close(); err != nil {
+			return nil, err
+		}
+		perFrame := bytes / steps
+		res.Points = append(res.Points, HybridPoint{
+			Pieces:         k,
+			BytesPerFrame:  perFrame,
+			DecodePerFrame: decode / time.Duration(steps),
+			WirePerFrame:   link.TransferTime(perFrame),
+		})
+	}
+	c.printf("Hybrid parallel-compression sweep (%dx%d frames, %d nodes, %s link model)\n", size, size, p, link.Name)
+	t := metrics.NewTable("pieces", "bytes/frame", "decode(s)", "wire(s)", "total(s)")
+	for _, pt := range res.Points {
+		t.Row(fmt.Sprint(pt.Pieces), fmt.Sprint(pt.BytesPerFrame),
+			fmt.Sprintf("%.4f", pt.DecodePerFrame.Seconds()),
+			fmt.Sprintf("%.4f", pt.WirePerFrame.Seconds()),
+			fmt.Sprintf("%.4f", pt.Total().Seconds()))
+	}
+	c.printf("%s\n", t.String())
+	return res, nil
+}

@@ -1,0 +1,46 @@
+package img
+
+import "fmt"
+
+// SubRGBA extracts region r of the float image as a standalone image;
+// used by the binary-swap compositor to carve exchange halves.
+func (im *RGBA) SubRGBA(r Region) (*RGBA, error) {
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 > im.W || r.Y1 > im.H || r.Empty() {
+		return nil, fmt.Errorf("img: region %v outside image %dx%d", r, im.W, im.H)
+	}
+	s := NewRGBA(r.W(), r.H())
+	for y := 0; y < s.H; y++ {
+		src := ((r.Y0+y)*im.W + r.X0) * 4
+		dst := y * s.W * 4
+		copy(s.Pix[dst:dst+s.W*4], im.Pix[src:src+s.W*4])
+	}
+	return s, nil
+}
+
+// BlitRGBA copies sub into im at region r; sub must match r's extents.
+func (im *RGBA) BlitRGBA(sub *RGBA, r Region) error {
+	if sub.W != r.W() || sub.H != r.H() {
+		return fmt.Errorf("img: blit size %dx%d != region %v", sub.W, sub.H, r)
+	}
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 > im.W || r.Y1 > im.H {
+		return fmt.Errorf("img: region %v outside image %dx%d", r, im.W, im.H)
+	}
+	for y := 0; y < sub.H; y++ {
+		dst := ((r.Y0+y)*im.W + r.X0) * 4
+		src := y * sub.W * 4
+		copy(im.Pix[dst:dst+sub.W*4], sub.Pix[src:src+sub.W*4])
+	}
+	return nil
+}
+
+// SplitRegion bisects r along its longer side (ties split rows),
+// returning the low and high halves. Deterministic, so binary-swap
+// partners derive identical splits independently.
+func SplitRegion(r Region) (lo, hi Region) {
+	if r.W() > r.H() {
+		mid := r.X0 + r.W()/2
+		return Region{r.X0, r.Y0, mid, r.Y1}, Region{mid, r.Y0, r.X1, r.Y1}
+	}
+	mid := r.Y0 + r.H()/2
+	return Region{r.X0, r.Y0, r.X1, mid}, Region{r.X0, mid, r.X1, r.Y1}
+}

@@ -1,0 +1,445 @@
+// Package pipeline runs the paper's parallel pipelined renderer for
+// real: P goroutine-backed processor nodes partitioned into L groups,
+// each group rendering one time step at a time (intra-volume
+// parallelism inside the group, inter-volume parallelism across
+// groups), with the data-input stage serialized through a shared path
+// as in the paper's no-parallel-I/O setting. Binary-swap compositing
+// merges each group's partial images; the composited pieces are handed
+// to a sink either assembled (single-image output) or as per-node
+// pieces (the parallel-compression path of §4).
+//
+// The package measures the three §3 metrics — start-up latency,
+// overall execution time, inter-frame delay — on the real execution;
+// package sim extrapolates the same pipeline to cluster scale.
+package pipeline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/comm"
+	"repro/internal/composite"
+	"repro/internal/img"
+	"repro/internal/render"
+	"repro/internal/tf"
+	"repro/internal/vol"
+	"repro/internal/volio"
+)
+
+// Piece is one node's share of a composited frame.
+type Piece struct {
+	Region img.Region
+	Image  *img.RGBA
+}
+
+// Frame is a completed time step delivered to the sink.
+type Frame struct {
+	Step int
+	// Image is the assembled frame (nil when Options.EmitPieces).
+	Image *img.RGBA
+	// Pieces are the per-node composited regions (set when
+	// Options.EmitPieces).
+	Pieces []Piece
+	// Stage timings measured at the group leader.
+	InputTime     time.Duration
+	RenderTime    time.Duration
+	CompositeTime time.Duration
+	// Group is the processor group that rendered this step.
+	Group int
+}
+
+// Options configures a pipelined run.
+type Options struct {
+	// P is the node count; L the group count. P must be divisible by
+	// L and the group size P/L must be a power of two (binary-swap).
+	P, L int
+	// ImageW, ImageH set the output size.
+	ImageW, ImageH int
+	// TF is the transfer function.
+	TF *tf.TF
+	// TFFn, when set, overrides TF per step (resolved once per step
+	// by the group leader, so it may read mutable control state).
+	TFFn func(step int) *tf.TF
+	// CameraFn returns the camera for a step; nil uses a fixed
+	// default orbit view. Resolved once per step by the group leader.
+	CameraFn func(step int, d vol.Dims) (*render.Camera, error)
+	// BeforeStep, when set, is called by the group leader before
+	// fetching each step — the hook the interactive server uses to
+	// pause and to apply buffered user control.
+	BeforeStep func(step int)
+	// Render are the ray-casting options (zero value = defaults).
+	Render render.Options
+	// Ghost is the brick ghost-cell width (default 2).
+	Ghost int
+	// Steps caps the number of steps rendered (0 = all in store).
+	Steps int
+	// EmitPieces delivers per-node pieces instead of assembled
+	// frames (the parallel-compression path).
+	EmitPieces bool
+	// RegionInput makes every node fetch its own (ghosted) brick
+	// directly from storage instead of the leader reading the whole
+	// step and scattering bricks — the paper's §7.1 parallel-I/O
+	// extension. Requires the store to implement volio.RegionStore.
+	RegionInput bool
+	// Accel builds a macrocell empty-space-skipping grid per brick
+	// before rendering (§7.1 "preprocessing ... can provide many
+	// hints to the renderer"). Output is unchanged; sparse data
+	// renders with fewer samples.
+	Accel bool
+}
+
+func (o *Options) normalize(store volio.Store) error {
+	if o.P < 1 || o.L < 1 || o.L > o.P || o.P%o.L != 0 {
+		return fmt.Errorf("pipeline: invalid P=%d L=%d", o.P, o.L)
+	}
+	g := o.P / o.L
+	if g&(g-1) != 0 {
+		return fmt.Errorf("pipeline: group size %d not a power of two", g)
+	}
+	if o.ImageW < 1 || o.ImageH < 1 {
+		return fmt.Errorf("pipeline: image %dx%d", o.ImageW, o.ImageH)
+	}
+	if o.ImageH < g {
+		return fmt.Errorf("pipeline: image height %d smaller than group size %d", o.ImageH, g)
+	}
+	if o.TF == nil {
+		return fmt.Errorf("pipeline: nil transfer function")
+	}
+	if o.Ghost == 0 {
+		o.Ghost = 2
+	}
+	if o.Render.Step == 0 {
+		o.Render = render.DefaultOptions()
+	}
+	if o.Steps == 0 || o.Steps > store.Steps() {
+		o.Steps = store.Steps()
+	}
+	if o.CameraFn == nil {
+		o.CameraFn = func(step int, d vol.Dims) (*render.Camera, error) {
+			return render.NewOrbitCamera(d, 0.6, 0.35, 1.8)
+		}
+	}
+	if o.RegionInput {
+		if _, ok := store.(volio.RegionStore); !ok {
+			return fmt.Errorf("pipeline: RegionInput requires a volio.RegionStore, got %T", store)
+		}
+	}
+	return nil
+}
+
+// Metrics are the paper's three performance measures, computed from
+// real completion times.
+type Metrics struct {
+	StartupLatency  time.Duration
+	Overall         time.Duration
+	InterFrameDelay time.Duration
+	Frames          int
+}
+
+// Sink receives completed frames. It is called from group-leader
+// goroutines; calls are serialized by the pipeline.
+type Sink func(*Frame) error
+
+// Run executes the pipelined renderer over the store and reports
+// metrics. The sink may be nil when only metrics are wanted.
+func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
+	if err := opt.normalize(store); err != nil {
+		return Metrics{}, err
+	}
+	g := opt.P / opt.L
+	dims := store.Dims()
+
+	var (
+		diskMu sync.Mutex // the shared sequential input path
+		sinkMu sync.Mutex
+		done   = make([]time.Time, opt.Steps)
+	)
+	start := time.Now()
+
+	err := comm.Run(opt.P, func(c *comm.Comm) error {
+		gid := c.Rank() / g
+		members := make([]int, g)
+		for i := range members {
+			members[i] = gid*g + i
+		}
+		gc, err := c.Group(members)
+		if err != nil {
+			return err
+		}
+		for s := gid; s < opt.Steps; s += opt.L {
+			if err := renderStep(gc, store, &opt, dims, gid, s, &diskMu, func(f *Frame) error {
+				sinkMu.Lock()
+				defer sinkMu.Unlock()
+				done[s] = time.Now()
+				if sink != nil {
+					return sink(f)
+				}
+				return nil
+			}); err != nil {
+				return fmt.Errorf("pipeline: group %d step %d: %w", gid, s, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	// Display-order completion: a frame appears once all earlier
+	// frames have.
+	display := make([]time.Duration, opt.Steps)
+	var running time.Duration
+	for s := 0; s < opt.Steps; s++ {
+		d := done[s].Sub(start)
+		if d > running {
+			running = d
+		}
+		display[s] = running
+	}
+	m := Metrics{
+		StartupLatency: display[0],
+		Overall:        display[opt.Steps-1],
+		Frames:         opt.Steps,
+	}
+	if opt.Steps > 1 {
+		m.InterFrameDelay = (m.Overall - m.StartupLatency) / time.Duration(opt.Steps-1)
+	}
+	return m, nil
+}
+
+// tag bases: each (group, step) gets a disjoint tag range so groups
+// sharing the world never cross-talk.
+func tagBase(step, kind int) int { return step*64 + kind*32 }
+
+const (
+	kindData = 0
+	kindSwap = 1
+)
+
+// stepWork is the leader's per-step distribution payload: the node's
+// brick plus the step's resolved camera and transfer function.
+type stepWork struct {
+	brick *vol.Brick
+	cam   *render.Camera
+	tf    *tf.TF
+}
+
+// renderStep runs one time step inside one group communicator.
+func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, gid, step int, diskMu *sync.Mutex, deliver Sink) error {
+	g := gc.Size()
+	boxes, err := vol.SplitKD(dims, g)
+	if err != nil {
+		return err
+	}
+
+	var work stepWork
+	var inputTime time.Duration
+	if opt.RegionInput {
+		// Parallel I/O: the leader resolves camera/TF and broadcasts
+		// the small control payload; every node then pulls its own
+		// ghosted brick from storage concurrently.
+		if gc.Rank() == 0 {
+			if opt.BeforeStep != nil {
+				opt.BeforeStep(step)
+			}
+			cam, err := opt.CameraFn(step, dims)
+			if err != nil {
+				return err
+			}
+			tfn := opt.TF
+			if opt.TFFn != nil {
+				tfn = opt.TFFn(step)
+			}
+			work = stepWork{cam: cam, tf: tfn}
+			for i := 1; i < g; i++ {
+				gc.Send(i, tagBase(step, kindData), work, 64)
+			}
+		} else {
+			payload, _ := gc.Recv(0, tagBase(step, kindData))
+			var ok bool
+			work, ok = payload.(stepWork)
+			if !ok {
+				return fmt.Errorf("unexpected work payload %T", payload)
+			}
+		}
+		t0 := time.Now()
+		b, err := fetchBrickRegion(store.(volio.RegionStore), step, boxes[gc.Rank()], opt.Ghost, dims)
+		if err != nil {
+			return err
+		}
+		work.brick = b
+		inputTime = time.Since(t0)
+	} else if gc.Rank() == 0 {
+		if opt.BeforeStep != nil {
+			opt.BeforeStep(step)
+		}
+		// The leader resolves the step's camera and transfer function
+		// once (they may come from mutable user-control state) and
+		// distributes them with the bricks.
+		cam, err := opt.CameraFn(step, dims)
+		if err != nil {
+			return err
+		}
+		tfn := opt.TF
+		if opt.TFFn != nil {
+			tfn = opt.TFFn(step)
+		}
+		// Data input: fetch through the shared sequential path and
+		// distribute bricks to the group.
+		t0 := time.Now()
+		diskMu.Lock()
+		v, err := store.Fetch(step)
+		diskMu.Unlock()
+		if err != nil {
+			return err
+		}
+		for i := 1; i < g; i++ {
+			b, err := v.Extract(boxes[i], opt.Ghost)
+			if err != nil {
+				return err
+			}
+			gc.Send(i, tagBase(step, kindData), stepWork{brick: b, cam: cam, tf: tfn}, int(b.Data.Dims.Bytes()))
+		}
+		b, err := v.Extract(boxes[0], opt.Ghost)
+		if err != nil {
+			return err
+		}
+		work = stepWork{brick: b, cam: cam, tf: tfn}
+		inputTime = time.Since(t0)
+	} else {
+		payload, _ := gc.Recv(0, tagBase(step, kindData))
+		var ok bool
+		work, ok = payload.(stepWork)
+		if !ok {
+			return fmt.Errorf("unexpected work payload %T", payload)
+		}
+	}
+	cam := work.cam
+
+	t1 := time.Now()
+	ropt := opt.Render
+	if opt.Accel {
+		grid, err := accel.Build(work.brick.Data, work.brick.Origin, work.brick.Normalize, 0)
+		if err != nil {
+			return err
+		}
+		ropt.Accel = grid
+	}
+	partial, _, err := render.RenderBrick(work.brick, cam, work.tf, ropt, opt.ImageW, opt.ImageH)
+	if err != nil {
+		return err
+	}
+	renderTime := time.Since(t1)
+
+	t2 := time.Now()
+	var pieces []Piece
+	var assembled *img.RGBA
+	if g == 1 {
+		pieces = []Piece{{Region: img.Region{X1: opt.ImageW, Y1: opt.ImageH}, Image: partial}}
+		assembled = partial
+	} else {
+		reg, piece, err := composite.BinarySwap(gc, partial, boxes, cam.Eye, tagBase(step, kindSwap))
+		if err != nil {
+			return err
+		}
+		if opt.EmitPieces {
+			// Gather pieces (region+image) at the leader; in the real
+			// distributed system each node would compress and ship its
+			// own piece — core.Server does exactly that.
+			if gc.Rank() != 0 {
+				gc.Send(0, tagBase(step, kindSwap)+16, Piece{Region: reg, Image: piece}, len(piece.Pix)*4)
+				return nil
+			}
+			pieces = make([]Piece, g)
+			pieces[0] = Piece{Region: reg, Image: piece}
+			for i := 1; i < g; i++ {
+				got, _ := gc.Recv(i, tagBase(step, kindSwap)+16)
+				pieces[i] = got.(Piece)
+			}
+		} else {
+			full, err := composite.FinalGather(gc, reg, piece, opt.ImageW, opt.ImageH, 0, tagBase(step, kindSwap)+16)
+			if err != nil {
+				return err
+			}
+			if gc.Rank() != 0 {
+				return nil
+			}
+			assembled = full
+		}
+	}
+	compositeTime := time.Since(t2)
+
+	f := &Frame{
+		Step:          step,
+		Pieces:        pieces,
+		InputTime:     inputTime,
+		RenderTime:    renderTime,
+		CompositeTime: compositeTime,
+		Group:         gid,
+	}
+	if !opt.EmitPieces {
+		f.Image = assembled
+		f.Pieces = nil
+	}
+	return deliver(f)
+}
+
+// fetchBrickRegion reads one node's ghosted brick straight from a
+// region-capable store.
+func fetchBrickRegion(rs volio.RegionStore, step int, region vol.Box, ghost int, dims vol.Dims) (*vol.Brick, error) {
+	full := vol.Box{X1: dims.NX, Y1: dims.NY, Z1: dims.NZ}
+	region = region.Intersect(full)
+	g := vol.Box{
+		X0: maxInt(region.X0-ghost, 0), Y0: maxInt(region.Y0-ghost, 0), Z0: maxInt(region.Z0-ghost, 0),
+		X1: minInt(region.X1+ghost, dims.NX), Y1: minInt(region.Y1+ghost, dims.NY), Z1: minInt(region.Z1+ghost, dims.NZ),
+	}
+	sub, err := rs.FetchRegion(step, g)
+	if err != nil {
+		return nil, err
+	}
+	return &vol.Brick{
+		Region:     region,
+		Data:       sub,
+		Origin:     [3]int{g.X0, g.Y0, g.Z0},
+		ParentDims: dims,
+		ParentMin:  sub.Min,
+		ParentMax:  sub.Max,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GroupSizes returns the valid L values for a given P (divisors with
+// power-of-two quotient), sorted ascending — the x-axis of Figure 6.
+func GroupSizes(p int) []int {
+	var out []int
+	for l := 1; l <= p; l++ {
+		if p%l == 0 {
+			g := p / l
+			if g&(g-1) == 0 {
+				out = append(out, l)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && bits.OnesCount(uint(v)) == 1 }

@@ -1,0 +1,388 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/img"
+	"repro/internal/render"
+	"repro/internal/tf"
+	"repro/internal/vol"
+	"repro/internal/volio"
+)
+
+func testStore(steps int) *volio.GenStore {
+	return volio.NewGenStore(datagen.NewJetScaled(0.15, steps))
+}
+
+func baseOptions(p, l int) Options {
+	return Options{P: p, L: l, ImageW: 32, ImageH: 32, TF: tf.Jet()}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	store := testStore(2)
+	bad := []Options{
+		{P: 0, L: 1, ImageW: 8, ImageH: 8, TF: tf.Jet()},
+		{P: 4, L: 3, ImageW: 8, ImageH: 8, TF: tf.Jet()},  // not divisible
+		{P: 12, L: 2, ImageW: 8, ImageH: 8, TF: tf.Jet()}, // G=6 not pow2
+		{P: 2, L: 1, ImageW: 8, ImageH: 8},                // nil TF
+		{P: 2, L: 1, ImageW: 0, ImageH: 8, TF: tf.Jet()},
+		{P: 16, L: 1, ImageW: 8, ImageH: 8, TF: tf.Jet()}, // H < G
+	}
+	for i, o := range bad {
+		if _, err := Run(store, o, nil); err == nil {
+			t.Errorf("case %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestAllStepsDeliveredOnce(t *testing.T) {
+	store := testStore(6)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	m, err := Run(store, baseOptions(4, 2), func(f *Frame) error {
+		mu.Lock()
+		seen[f.Step]++
+		mu.Unlock()
+		if f.Image == nil {
+			return fmt.Errorf("step %d: nil image", f.Step)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames != 6 {
+		t.Fatalf("frames = %d", m.Frames)
+	}
+	for s := 0; s < 6; s++ {
+		if seen[s] != 1 {
+			t.Fatalf("step %d delivered %d times", s, seen[s])
+		}
+	}
+	if m.Overall <= 0 || m.StartupLatency <= 0 || m.InterFrameDelay <= 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.StartupLatency > m.Overall {
+		t.Fatal("startup after overall")
+	}
+}
+
+// The pipelined result must match a single-node render of each step.
+func TestMatchesSerialRender(t *testing.T) {
+	const steps = 2
+	store := testStore(steps)
+	opt := baseOptions(4, 1)
+	opt.Render = render.DefaultOptions()
+	opt.Render.TerminationAlpha = 1
+
+	got := make([]*img.RGBA, steps)
+	var mu sync.Mutex
+	if _, err := Run(store, opt, func(f *Frame) error {
+		mu.Lock()
+		got[f.Step] = f.Image
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		v, err := store.Fetch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The default camera Run uses when CameraFn is nil.
+		cam, err := render.NewOrbitCamera(store.Dims(), 0.6, 0.35, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := render.Render(v, cam, opt.TF, opt.Render, opt.ImageW, opt.ImageH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxDiff float64
+		for i := range want.Pix {
+			d := math.Abs(float64(want.Pix[i] - got[s].Pix[i]))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 5e-3 {
+			t.Fatalf("step %d: max diff %v vs serial render", s, maxDiff)
+		}
+	}
+}
+
+// All valid L for a fixed P must produce identical images.
+func TestPartitioningInvariance(t *testing.T) {
+	const steps = 3
+	var ref []*img.RGBA
+	for _, l := range []int{1, 2, 4} {
+		store := testStore(steps)
+		opt := baseOptions(4, l)
+		opt.Render.TerminationAlpha = 1
+		imgs := make([]*img.RGBA, steps)
+		var mu sync.Mutex
+		if _, err := Run(store, opt, func(f *Frame) error {
+			mu.Lock()
+			imgs[f.Step] = f.Image
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("L=%d: %v", l, err)
+		}
+		if ref == nil {
+			ref = imgs
+			continue
+		}
+		for s := range imgs {
+			for i := range imgs[s].Pix {
+				if math.Abs(float64(imgs[s].Pix[i]-ref[s].Pix[i])) > 5e-3 {
+					t.Fatalf("L=%d step %d differs from L=1", l, s)
+				}
+			}
+		}
+	}
+}
+
+func TestEmitPieces(t *testing.T) {
+	store := testStore(2)
+	opt := baseOptions(4, 1)
+	opt.EmitPieces = true
+	opt.Render.TerminationAlpha = 1
+
+	var mu sync.Mutex
+	var frames []*Frame
+	if _, err := Run(store, opt, func(f *Frame) error {
+		mu.Lock()
+		frames = append(frames, f)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f.Image != nil {
+			t.Fatal("EmitPieces must not assemble")
+		}
+		if len(f.Pieces) != 4 {
+			t.Fatalf("step %d: %d pieces", f.Step, len(f.Pieces))
+		}
+		// Pieces tile the image.
+		covered := 0
+		for _, p := range f.Pieces {
+			if p.Image.W != p.Region.W() || p.Image.H != p.Region.H() {
+				t.Fatal("piece size mismatch")
+			}
+			covered += p.Region.Pixels()
+		}
+		if covered != opt.ImageW*opt.ImageH {
+			t.Fatalf("pieces cover %d px", covered)
+		}
+	}
+}
+
+// Pieces reassembled must equal the assembled image from a separate
+// run with identical options.
+func TestPiecesMatchAssembled(t *testing.T) {
+	mk := func(emit bool) []*Frame {
+		store := testStore(1)
+		opt := baseOptions(8, 1)
+		opt.EmitPieces = emit
+		opt.Render.TerminationAlpha = 1
+		var frames []*Frame
+		var mu sync.Mutex
+		if _, err := Run(store, opt, func(f *Frame) error {
+			mu.Lock()
+			frames = append(frames, f)
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return frames
+	}
+	pieces := mk(true)[0]
+	whole := mk(false)[0]
+	re := img.NewRGBA(32, 32)
+	for _, p := range pieces.Pieces {
+		if err := re.BlitRGBA(p.Image, p.Region); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range re.Pix {
+		if math.Abs(float64(re.Pix[i]-whole.Image.Pix[i])) > 5e-3 {
+			t.Fatal("reassembled pieces differ from assembled image")
+		}
+	}
+}
+
+func TestSinkErrorPropagates(t *testing.T) {
+	store := testStore(2)
+	boom := fmt.Errorf("sink failed")
+	_, err := Run(store, baseOptions(2, 1), func(f *Frame) error { return boom })
+	if err == nil {
+		t.Fatal("sink error swallowed")
+	}
+}
+
+func TestGroupSizes(t *testing.T) {
+	got := GroupSizes(16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("GroupSizes(16) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GroupSizes(16) = %v", got)
+		}
+	}
+	// 12 has divisors 1,2,3,4,6,12; valid L are those with pow2 G:
+	// L=3 (G=4), L=6 (G=2), L=12 (G=1).
+	got = GroupSizes(12)
+	want = []int{3, 6, 12}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("GroupSizes(12) = %v", got)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 1024} {
+		if !IsPow2(v) {
+			t.Fatalf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []int{0, -2, 3, 6, 12} {
+		if IsPow2(v) {
+			t.Fatalf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestCustomCamera(t *testing.T) {
+	store := testStore(2)
+	opt := baseOptions(2, 1)
+	calls := 0
+	var mu sync.Mutex
+	opt.CameraFn = func(step int, d vol.Dims) (*render.Camera, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return render.NewOrbitCamera(d, float64(step)*0.5, 0.3, 2)
+	}
+	if _, err := Run(store, opt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls < 2 {
+		t.Fatalf("camera fn called %d times", calls)
+	}
+}
+
+func BenchmarkPipeline4x2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		store := testStore(4)
+		if _, err := Run(store, baseOptions(4, 2), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The parallel-I/O input path (§7.1) must produce frames identical to
+// the leader-scatter path, over both a generator store and a real
+// dataset file.
+func TestRegionInputMatchesScatter(t *testing.T) {
+	const steps = 2
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jet.tvv")
+	if err := volio.WriteDataset(path, datagen.NewJetScaled(0.15, steps)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := volio.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	run := func(store volio.Store, region bool) []*img.RGBA {
+		opt := baseOptions(4, 1)
+		opt.RegionInput = region
+		opt.Render.TerminationAlpha = 1
+		imgs := make([]*img.RGBA, steps)
+		var mu sync.Mutex
+		if _, err := Run(store, opt, func(f *Frame) error {
+			mu.Lock()
+			imgs[f.Step] = f.Image
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return imgs
+	}
+	fileStore := volio.FileStore{R: r}
+	scatter := run(fileStore, false)
+	region := run(fileStore, true)
+	for s := range scatter {
+		for i := range scatter[s].Pix {
+			if math.Abs(float64(scatter[s].Pix[i]-region[s].Pix[i])) > 5e-3 {
+				t.Fatalf("step %d differs between scatter and region input", s)
+			}
+		}
+	}
+	// Generator-backed store supports the same path.
+	genRegion := run(volio.NewGenStore(datagen.NewJetScaled(0.15, steps)), true)
+	if genRegion[0] == nil {
+		t.Fatal("generator region input produced nothing")
+	}
+}
+
+func TestRegionInputRequiresRegionStore(t *testing.T) {
+	opt := baseOptions(2, 1)
+	opt.RegionInput = true
+	_, err := Run(plainStore{testStore(1)}, opt, nil)
+	if err == nil {
+		t.Fatal("non-region store accepted")
+	}
+}
+
+// plainStore hides the RegionStore capability of the wrapped store.
+type plainStore struct{ s volio.Store }
+
+func (p plainStore) Dims() vol.Dims                   { return p.s.Dims() }
+func (p plainStore) Steps() int                       { return p.s.Steps() }
+func (p plainStore) Fetch(t int) (*vol.Volume, error) { return p.s.Fetch(t) }
+
+// Accelerated pipelined rendering must match the unaccelerated result.
+func TestAccelPipelineMatches(t *testing.T) {
+	run := func(accel bool) *img.RGBA {
+		store := testStore(1)
+		opt := baseOptions(4, 1)
+		opt.Accel = accel
+		opt.Render.TerminationAlpha = 1
+		var out *img.RGBA
+		var mu sync.Mutex
+		if _, err := Run(store, opt, func(f *Frame) error {
+			mu.Lock()
+			out = f.Image
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run(false)
+	b := run(true)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("accelerated pipeline differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accel"
+	"repro/internal/img"
+	"repro/internal/tf"
+	"repro/internal/vol"
+)
+
+// Mode selects the ray compositing rule.
+type Mode int
+
+// Compositing modes.
+const (
+	// ModeOver is classic direct volume rendering: front-to-back
+	// alpha compositing of classified samples.
+	ModeOver Mode = iota
+	// ModeMIP is maximum intensity projection: the ray keeps its
+	// largest normalized sample and classifies it once — a common
+	// preview mode for scalar fields (no shading, order independent).
+	ModeMIP
+)
+
+// Options controls the ray caster.
+type Options struct {
+	// Step is the sampling distance along the ray in grid units.
+	Step float64
+	// Shading enables gradient (Phong diffuse) shading (ModeOver
+	// only).
+	Shading bool
+	// Light is the direction toward the light source; used when
+	// Shading is set. Zero value means headlight (along the view ray).
+	Light Vec3
+	// TerminationAlpha stops a ray once accumulated opacity exceeds
+	// this value (early ray termination). 0 means the default 0.98.
+	TerminationAlpha float32
+	// Mode selects Over (default) or MIP compositing.
+	Mode Mode
+	// Accel, when set, skips macrocells the transfer function maps to
+	// zero opacity (empty-space leaping; ModeOver only). The grid
+	// must cover the rendered region in parent coordinates and use
+	// the same normalization. Skipping is conservative: accelerated
+	// output is identical.
+	Accel *accel.Grid
+	// PixelMask, when set (length W*H), restricts rendering to the
+	// true pixels; the others are left untouched in dst. Used by
+	// differential (temporal-reuse) rendering.
+	PixelMask []bool
+}
+
+// DefaultOptions are the renderer settings used across the paper
+// experiments.
+func DefaultOptions() Options {
+	return Options{Step: 0.8, Shading: true, TerminationAlpha: 0.98}
+}
+
+func (o *Options) normalize() error {
+	if o.Step <= 0 {
+		return fmt.Errorf("render: step %v must be positive", o.Step)
+	}
+	if o.TerminationAlpha == 0 {
+		o.TerminationAlpha = 0.98
+	}
+	if o.TerminationAlpha < 0 || o.TerminationAlpha > 1 {
+		return fmt.Errorf("render: termination alpha %v out of [0,1]", o.TerminationAlpha)
+	}
+	return nil
+}
+
+// Stats reports the work a render call performed; the discrete-event
+// simulator uses these counts with calibrated per-unit costs.
+type Stats struct {
+	Rays    int // rays intersecting the brick
+	Samples int // volume samples taken
+	Pixels  int // pixels with nonzero contribution
+	Skipped int // samples avoided by empty-space leaping
+}
+
+// Sampler is the volume access a ray caster needs; both *vol.Brick
+// and a whole-volume adapter satisfy it. Coordinates are in parent
+// (full-volume) grid space.
+type Sampler interface {
+	Sample(x, y, z float64) float32
+	Gradient(x, y, z float64) (gx, gy, gz float32)
+	Normalize(v float32) float32
+}
+
+// volumeSampler adapts a full volume to the Sampler interface.
+type volumeSampler struct{ v *vol.Volume }
+
+func (s volumeSampler) Sample(x, y, z float64) float32 { return s.v.Sample(x, y, z) }
+func (s volumeSampler) Gradient(x, y, z float64) (float32, float32, float32) {
+	return s.v.Gradient(x, y, z)
+}
+func (s volumeSampler) Normalize(v float32) float32 { return s.v.Normalize(v) }
+
+// WholeVolume wraps a volume as a Sampler for single-node rendering.
+func WholeVolume(v *vol.Volume) Sampler { return volumeSampler{v} }
+
+// RenderRegion ray-casts the part of the volume inside region into
+// dst, a full-size premultiplied RGBA image. Pixels whose rays miss
+// the region are left untouched (transparent), which is what the
+// compositor expects of a partial image. dst must be cleared by the
+// caller if reused.
+func RenderRegion(s Sampler, region vol.Box, cam *Camera, t *tf.TF, opt Options, dst *img.RGBA) (Stats, error) {
+	if err := opt.normalize(); err != nil {
+		return Stats{}, err
+	}
+	if region.Empty() {
+		return Stats{}, fmt.Errorf("render: empty region")
+	}
+	if !cam.ready {
+		if err := cam.Finish(); err != nil {
+			return Stats{}, err
+		}
+	}
+	var st Stats
+	light := opt.Light.Normalized()
+	headlight := opt.Light == (Vec3{})
+	w, h := dst.W, dst.H
+	termA := opt.TerminationAlpha
+	// Resolve the accelerator's per-cell transparency once for this
+	// (grid, transfer function) pair; the per-sample check is then a
+	// single indexed load.
+	var emptyCell []bool
+	if opt.Accel != nil {
+		emptyCell = opt.Accel.EmptyMask(t.MaxAlpha)
+	}
+	if opt.PixelMask != nil && len(opt.PixelMask) != w*h {
+		return st, fmt.Errorf("render: pixel mask of %d entries for %dx%d image", len(opt.PixelMask), w, h)
+	}
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			if opt.PixelMask != nil && !opt.PixelMask[py*w+px] {
+				continue
+			}
+			orig, dir := cam.Ray(px, py, w, h)
+			tn, tfar, ok := IntersectBox(orig, dir, region)
+			if !ok || tfar <= tn {
+				continue
+			}
+			st.Rays++
+			if opt.Mode == ModeMIP {
+				mipRay(s, t, orig, dir, tn, tfar, opt.Step, &st, dst, py*w+px)
+				continue
+			}
+			var r, g, b, a float32
+			ld := light
+			if headlight {
+				ld = dir.Scale(-1)
+			}
+			// Jitter-free fixed stepping keeps partial images from
+			// different bricks consistent along the same ray: sample
+			// positions are aligned to global multiples of Step so a
+			// ray crossing a brick boundary continues the same
+			// sample sequence.
+			// Samples at exactly tfar belong to the next brick along
+			// the ray (strict <), so bricks sharing a face never
+			// double-count a sample.
+			k0 := math.Ceil(tn / opt.Step)
+			for k := k0; ; k++ {
+				tcur := k * opt.Step
+				if tcur >= tfar {
+					break
+				}
+				p := orig.Add(dir.Scale(tcur))
+				if emptyCell != nil {
+					if ci, ok := opt.Accel.CellAt(p.X, p.Y, p.Z); ok && emptyCell[ci] {
+						// Transparent macrocell: leap to its exit.
+						exit := opt.Accel.CellExit(orig.X, orig.Y, orig.Z, dir.X, dir.Y, dir.Z, tcur)
+						next := k + 1
+						if k2 := math.Ceil(exit/opt.Step + 1e-9); k2 > next {
+							next = k2
+						}
+						st.Skipped += int(next - k)
+						k = next - 1 // loop increment lands on the first sample past the cell
+						continue
+					}
+				}
+				raw := s.Sample(p.X, p.Y, p.Z)
+				st.Samples++
+				cr, cg, cb, ca := t.Classify(s.Normalize(raw))
+				if ca <= 0 {
+					continue
+				}
+				if opt.Shading {
+					gx, gy, gz := s.Gradient(p.X, p.Y, p.Z)
+					gn := math.Sqrt(float64(gx*gx + gy*gy + gz*gz))
+					shade := float32(0.35)
+					if gn > 1e-6 {
+						n := Vec3{float64(gx), float64(gy), float64(gz)}.Scale(1 / gn)
+						diff := n.Dot(ld)
+						if diff < 0 {
+							diff = -diff // two-sided lighting for volumes
+						}
+						shade += 0.65 * float32(diff)
+					} else {
+						shade = 1 // homogeneous region: unshaded
+					}
+					cr *= shade
+					cg *= shade
+					cb *= shade
+				}
+				// Front-to-back compositing of a premultiplied sample.
+				tr := (1 - a) * ca
+				r += tr * cr
+				g += tr * cg
+				b += tr * cb
+				a += tr
+				if a >= termA {
+					break
+				}
+			}
+			if a > 0 {
+				i := (py*w + px) * 4
+				dst.Pix[i] += r
+				dst.Pix[i+1] += g
+				dst.Pix[i+2] += b
+				dst.Pix[i+3] += a
+				st.Pixels++
+			}
+		}
+	}
+	return st, nil
+}
+
+// mipRay marches one maximum-intensity-projection ray and writes the
+// classified maximum into pixel index pix of dst.
+func mipRay(s Sampler, t *tf.TF, orig, dir Vec3, tn, tfar, step float64, st *Stats, dst *img.RGBA, pix int) {
+	maxV := float32(-1)
+	k0 := math.Ceil(tn / step)
+	for k := k0; ; k++ {
+		tcur := k * step
+		if tcur >= tfar {
+			break
+		}
+		p := orig.Add(dir.Scale(tcur))
+		v := s.Normalize(s.Sample(p.X, p.Y, p.Z))
+		st.Samples++
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV < 0 {
+		return
+	}
+	cr, cg, cb, ca := t.Classify(maxV)
+	if ca <= 0 {
+		return
+	}
+	i := pix * 4
+	// MIP across bricks: keep the brighter contribution. Premultiplied
+	// channels scale with alpha, so compare by alpha.
+	if ca*1 > dst.Pix[i+3] {
+		dst.Pix[i] = cr * ca
+		dst.Pix[i+1] = cg * ca
+		dst.Pix[i+2] = cb * ca
+		dst.Pix[i+3] = ca
+		st.Pixels++
+	}
+}
+
+// Render ray-casts a whole volume into a new w x h image — the
+// single-processor renderer the paper benchmarks at 10–20 s per 256²
+// frame on one 1999-era CPU.
+func Render(v *vol.Volume, cam *Camera, t *tf.TF, opt Options, w, h int) (*img.RGBA, Stats, error) {
+	dst := img.NewRGBA(w, h)
+	st, err := RenderRegion(WholeVolume(v), v.Bounds(), cam, t, opt, dst)
+	return dst, st, err
+}
+
+// RenderBrick ray-casts one brick's owned region into a full-size
+// partial image; this is what each compute node of a group runs.
+func RenderBrick(b *vol.Brick, cam *Camera, t *tf.TF, opt Options, w, h int) (*img.RGBA, Stats, error) {
+	dst := img.NewRGBA(w, h)
+	st, err := RenderRegion(b, b.Region, cam, t, opt, dst)
+	return dst, st, err
+}

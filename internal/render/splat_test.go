@@ -1,0 +1,127 @@
+package render
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/tf"
+	"repro/internal/vol"
+)
+
+func TestSplatOptionsValidation(t *testing.T) {
+	v := vol.MustNew(vol.Dims{NX: 8, NY: 8, NZ: 8})
+	cam, _ := NewOrbitCamera(v.Dims, 0.3, 0.2, 2)
+	if _, _, err := Splat(v, cam, tf.Jet(), SplatOptions{KernelRadius: 100}, 16, 16); err == nil {
+		t.Fatal("huge kernel accepted")
+	}
+	if _, _, err := Splat(v, cam, tf.Jet(), SplatOptions{}, 16, 16); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestSplatProducesSimilarImage(t *testing.T) {
+	g := datagen.NewJetScaled(0.25, 3)
+	v, err := g.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, err := NewOrbitCamera(v.Dims, 0.6, 0.35, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const W, H = 64, 64
+	ropt := DefaultOptions()
+	ropt.Shading = false
+	ray, _, err := Render(v, cam, tf.Jet(), ropt, W, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spl, st, err := Splat(v, cam, tf.Jet(), SplatOptions{}, W, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Splatted == 0 || st.Voxels == 0 {
+		t.Fatalf("no work: %+v", st)
+	}
+	// Sparse data: most voxels skipped.
+	if st.Splatted*2 > st.Voxels {
+		t.Fatalf("splatted %d of %d voxels — transparency culling broken", st.Splatted, st.Voxels)
+	}
+	// The two renderers must roughly agree on where the structure is:
+	// compare coverage masks (alpha > 0.05).
+	both, onlyOne := 0, 0
+	for i := 3; i < len(ray.Pix); i += 4 {
+		a := ray.Pix[i] > 0.05
+		b := spl.Pix[i] > 0.05
+		if a && b {
+			both++
+		} else if a != b {
+			onlyOne++
+		}
+	}
+	if both == 0 {
+		t.Fatal("no overlapping coverage between ray casting and splatting")
+	}
+	if onlyOne > 3*both {
+		t.Fatalf("coverage disagreement: %d both vs %d exclusive", both, onlyOne)
+	}
+}
+
+func TestSplatEmptyVolume(t *testing.T) {
+	v := vol.MustNew(vol.Dims{NX: 16, NY: 16, NZ: 16})
+	v.Fill(func(x, y, z int) float32 { return 0 })
+	cam, _ := NewOrbitCamera(v.Dims, 0.3, 0.2, 2)
+	im, st, err := Splat(v, cam, tf.Jet(), SplatOptions{}, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Splatted != 0 {
+		t.Fatalf("splatted %d voxels of an empty volume", st.Splatted)
+	}
+	for _, p := range im.Pix {
+		if p != 0 {
+			t.Fatal("nonzero pixel from empty volume")
+		}
+	}
+}
+
+func TestSliceOrderBackToFront(t *testing.T) {
+	d := vol.Dims{NX: 10, NY: 10, NZ: 10}
+	cam := &Camera{Eye: Vec3{4.5, 4.5, -50}, Center: Vec3{4.5, 4.5, 4.5}, Up: Vec3{0, 1, 0}, FovY: 0.8}
+	if err := cam.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	axis, slices := sliceOrder(d, cam)
+	if axis != 2 {
+		t.Fatalf("axis = %d, want z", axis)
+	}
+	// Eye at z=-50: back-to-front means z=9 first, z=0 last.
+	if slices[0] != 9 || slices[len(slices)-1] != 0 {
+		t.Fatalf("order %v", slices)
+	}
+}
+
+func TestVoxelAtRoundTrip(t *testing.T) {
+	for axis := 0; axis < 3; axis++ {
+		x, y, z := voxelAt(axis, 5, 2, 3)
+		got := [3]int{x, y, z}
+		if got[axis] != 5 {
+			t.Fatalf("axis %d: slice not mapped: %v", axis, got)
+		}
+	}
+}
+
+func BenchmarkSplat(b *testing.B) {
+	g := datagen.NewJetScaled(0.25, 2)
+	v, err := g.Step(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam, _ := NewOrbitCamera(v.Dims, 0.6, 0.35, 1.4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Splat(v, cam, tf.Jet(), SplatOptions{}, 128, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

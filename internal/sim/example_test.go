@@ -1,0 +1,39 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wan"
+)
+
+// Evaluate the pipeline for a hand-specified workload — the paper's
+// Figure 6 question: how does partitioning change the overall time?
+func ExampleRun() {
+	w := sim.Workload{
+		Steps:                128,
+		StepBytes:            129 * 129 * 104 * 4,
+		VolumeMB:             6.9,
+		ImageW:               256,
+		ImageH:               256,
+		T1Render:             15 * time.Second,
+		CompressSecPerByte:   2e-9,
+		CompressRatio:        0.015,
+		DecompressSecPerByte: 4e-9,
+		Link:                 wan.LAN(),
+	}
+	best, bestL := time.Duration(1<<62), 0
+	for l := 1; l <= 32; l *= 2 {
+		r, err := sim.Run(sim.Config{Machine: sim.RWCP(), Work: w, P: 32, L: l})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if r.Overall < best {
+			best, bestL = r.Overall, l
+		}
+	}
+	fmt.Println("optimal L:", bestL)
+	// Output: optimal L: 4
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// StepTrace records the scheduled interval of every stage of one time
+// step — the raw material of a pipeline Gantt chart, useful for
+// understanding why a configuration is input-, render-, link- or
+// viewer-bound.
+type StepTrace struct {
+	Step  int
+	Group int
+	// Stage intervals, in virtual time since run start.
+	InputStart, InputEnd   time.Duration
+	RenderStart, RenderEnd time.Duration
+	SendStart, SendEnd     time.Duration
+	Arrive                 time.Duration
+}
+
+// Gantt renders the trace as a fixed-width ASCII chart, one row per
+// step: '.' input, '#' render (incl. composite+compress), '>' WAN
+// send, '*' arrival.
+func Gantt(w io.Writer, trace []StepTrace, width int) error {
+	if len(trace) == 0 || width < 16 {
+		return fmt.Errorf("sim: empty trace or width < 16")
+	}
+	var end time.Duration
+	for _, s := range trace {
+		if s.Arrive > end {
+			end = s.Arrive
+		}
+	}
+	if end <= 0 {
+		return fmt.Errorf("sim: trace has no extent")
+	}
+	col := func(t time.Duration) int {
+		c := int(float64(t) / float64(end) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	if _, err := fmt.Fprintf(w, "pipeline schedule (width = %v):\n", end); err != nil {
+		return err
+	}
+	for _, s := range trace {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		fill := func(a, b time.Duration, ch byte) {
+			for i := col(a); i <= col(b); i++ {
+				row[i] = ch
+			}
+		}
+		fill(s.InputStart, s.InputEnd, '.')
+		fill(s.RenderStart, s.RenderEnd, '#')
+		fill(s.SendStart, s.SendEnd, '>')
+		row[col(s.Arrive)] = '*'
+		if _, err := fmt.Fprintf(w, "step %3d g%-2d |%s|\n", s.Step, s.Group, string(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GanttString renders the chart to a string.
+func GanttString(trace []StepTrace, width int) string {
+	var b strings.Builder
+	if err := Gantt(&b, trace, width); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,270 @@
+package temporal
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/render"
+	"repro/internal/tf"
+	"repro/internal/vol"
+	"repro/internal/volio"
+)
+
+func steps(t *testing.T, n int) []*vol.Volume {
+	t.Helper()
+	// Use a store so all steps share the global normalization range.
+	s := volio.NewGenStore(datagen.NewJetScaled(0.2, 50))
+	out := make([]*vol.Volume, n)
+	for i := range out {
+		v, err := s.Fetch(20 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func fullRender(t *testing.T, v *vol.Volume, cam *render.Camera, tfn *tf.TF, opt render.Options, w, h int) []float32 {
+	t.Helper()
+	im, _, err := render.Render(v, cam, tfn, opt, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im.Pix
+}
+
+func TestFirstFrameIsFullRender(t *testing.T) {
+	vs := steps(t, 1)
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	c := New()
+	im, st, err := c.Render(vs[0], cam, tf.Jet(), render.DefaultOptions(), 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullRender {
+		t.Fatal("first frame must be a full render")
+	}
+	want := fullRender(t, vs[0], cam, tf.Jet(), render.DefaultOptions(), 48, 48)
+	for i := range want {
+		if im.Pix[i] != want[i] {
+			t.Fatal("first frame differs from plain render")
+		}
+	}
+}
+
+// blobSteps builds volumes with a static background plus a small
+// moving blob — the localized-change regime differential rendering
+// targets (ref [25]'s flow animations).
+func blobSteps(n int) []*vol.Volume {
+	const N = 48
+	out := make([]*vol.Volume, n)
+	for s := 0; s < n; s++ {
+		v := vol.MustNew(vol.Dims{NX: N, NY: N, NZ: N})
+		bx := 10 + 3*s
+		v.Fill(func(x, y, z int) float32 {
+			// Static shell.
+			val := float32(0)
+			if z > N/2 {
+				val = 0.55
+			}
+			dx, dy, dz := x-bx, y-12, z-12
+			if dx*dx+dy*dy+dz*dz < 36 {
+				val = 1
+			}
+			return val
+		})
+		// Shared normalization range across steps.
+		v.Min, v.Max = 0, 1
+		out[s] = v
+	}
+	return out
+}
+
+// The headline invariant of differential rendering with Eps 0:
+// bit-identical frames with substantial pixel reuse on
+// localized-change data.
+func TestDifferentialIdenticalWithReuse(t *testing.T) {
+	vs := blobSteps(3)
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	tfn := tf.Grayscale()
+	opt := render.DefaultOptions()
+	const W, H = 64, 64
+
+	c := New()
+	for i, v := range vs {
+		im, st, err := c.Render(v, cam, tfn, opt, W, H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fullRender(t, v, cam, tfn, opt, W, H)
+		for j := range want {
+			if im.Pix[j] != want[j] {
+				t.Fatalf("step %d: differential frame differs at %d", i, j)
+			}
+		}
+		if i > 0 {
+			if st.FullRender {
+				t.Fatalf("step %d: expected differential render", i)
+			}
+			if st.ReusedPixels == 0 {
+				t.Fatalf("step %d: nothing reused on coherent data", i)
+			}
+			if st.ChangedCells == 0 || st.ChangedCells == st.TotalCells {
+				t.Fatalf("step %d: degenerate change mask %d/%d", i, st.ChangedCells, st.TotalCells)
+			}
+		}
+	}
+}
+
+// Real jet steps change everywhere (broadband turbulence), so the
+// differential path degrades gracefully to near-full re-rendering
+// while staying exact.
+func TestDifferentialExactOnGlobalChange(t *testing.T) {
+	vs := steps(t, 2)
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	tfn := tf.Jet()
+	opt := render.DefaultOptions()
+	c := New()
+	if _, _, err := c.Render(vs[0], cam, tfn, opt, 48, 48); err != nil {
+		t.Fatal(err)
+	}
+	im, st, err := c.Render(vs[1], cam, tfn, opt, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullRender {
+		t.Fatal("second coherent step should use the differential path")
+	}
+	want := fullRender(t, vs[1], cam, tfn, opt, 48, 48)
+	for j := range want {
+		if im.Pix[j] != want[j] {
+			t.Fatalf("differential frame differs at %d", j)
+		}
+	}
+}
+
+// An identical step must reuse every covered pixel and re-render no
+// cells.
+func TestIdenticalStepFullReuse(t *testing.T) {
+	vs := steps(t, 1)
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	c := New()
+	opt := render.DefaultOptions()
+	tfn := tf.Jet()
+	if _, _, err := c.Render(vs[0], cam, tfn, opt, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.Render(vs[0].Clone(), cam, tfn, opt, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChangedCells != 0 {
+		t.Fatalf("identical volume marked %d changed cells", st.ChangedCells)
+	}
+	if st.ReusedPixels != 32*32 {
+		t.Fatalf("reused %d of %d pixels", st.ReusedPixels, 32*32)
+	}
+	if st.Samples != 0 {
+		t.Fatalf("re-sampled %d on an identical step", st.Samples)
+	}
+}
+
+func TestCameraChangeInvalidates(t *testing.T) {
+	vs := steps(t, 2)
+	cam1, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	cam2, _ := render.NewOrbitCamera(vs[0].Dims, 1.6, 0.35, 1.5)
+	c := New()
+	opt := render.DefaultOptions()
+	tfn := tf.Jet()
+	if _, _, err := c.Render(vs[0], cam1, tfn, opt, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.Render(vs[1], cam2, tfn, opt, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullRender {
+		t.Fatal("camera change must force a full render")
+	}
+}
+
+func TestTFChangeInvalidates(t *testing.T) {
+	vs := steps(t, 2)
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	c := New()
+	opt := render.DefaultOptions()
+	if _, _, err := c.Render(vs[0], cam, tf.Jet(), opt, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.Render(vs[1], cam, tf.Vortex(), opt, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullRender {
+		t.Fatal("transfer-function change must force a full render")
+	}
+}
+
+func TestResetForcesFullRender(t *testing.T) {
+	vs := steps(t, 2)
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	c := New()
+	opt := render.DefaultOptions()
+	tfn := tf.Jet()
+	if _, _, err := c.Render(vs[0], cam, tfn, opt, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	_, st, err := c.Render(vs[1], cam, tfn, opt, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullRender {
+		t.Fatal("reset must force a full render")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if (Stats{FullRender: true}).String() != "full render" {
+		t.Fatal("full render string")
+	}
+	s := Stats{ReusedPixels: 10, ChangedCells: 2, TotalCells: 8}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func BenchmarkDifferentialVsFull(b *testing.B) {
+	s := volio.NewGenStore(datagen.NewJetScaled(0.2, 50))
+	var vs []*vol.Volume
+	for i := 20; i < 24; i++ {
+		v, err := s.Fetch(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	cam, _ := render.NewOrbitCamera(vs[0].Dims, 0.6, 0.35, 1.5)
+	opt := render.DefaultOptions()
+	tfn := tf.Jet()
+	b.Run("differential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := New()
+			for _, v := range vs {
+				if _, _, err := c.Render(v, cam, tfn, opt, 96, 96); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range vs {
+				if _, _, err := render.Render(v, cam, tfn, opt, 96, 96); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

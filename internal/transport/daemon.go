@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Daemon is the display daemon: it accepts any number of renderer and
+// display connections, forwards image messages from renderers to every
+// display, and routes control messages from displays back to every
+// renderer. An image buffer per display absorbs bursts when rendering
+// outpaces the wide-area link; when the buffer overflows the oldest
+// frame is dropped, favoring interactivity over completeness (the
+// paper's display daemon "uses an image buffer to cope with faster
+// rendering rates").
+type Daemon struct {
+	ln net.Listener
+
+	mu        sync.Mutex
+	renderers map[int]*peer
+	displays  map[int]*peer
+	nextID    int
+	closed    bool
+
+	// BufferFrames is the per-display image buffer depth (default 8).
+	BufferFrames int
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+
+	stats DaemonStats
+	wg    sync.WaitGroup
+}
+
+// DaemonStats counts daemon activity.
+type DaemonStats struct {
+	ImagesForwarded atomic.Int64
+	ImagesDropped   atomic.Int64
+	ControlsRouted  atomic.Int64
+	BytesForwarded  atomic.Int64
+}
+
+type peer struct {
+	id   int
+	role Role
+	conn net.Conn
+	out  chan Message
+	done chan struct{}
+}
+
+// NewDaemon starts a daemon on the listener. Callers own the
+// listener's address; Serve runs until Close.
+func NewDaemon(ln net.Listener) *Daemon {
+	return &Daemon{
+		ln:           ln,
+		renderers:    map[int]*peer{},
+		displays:     map[int]*peer{},
+		BufferFrames: 8,
+	}
+}
+
+// Addr returns the daemon's listen address.
+func (d *Daemon) Addr() net.Addr { return d.ln.Addr() }
+
+// Stats exposes the daemon counters.
+func (d *Daemon) Stats() *DaemonStats { return &d.stats }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener closes. Run it on its
+// own goroutine.
+func (d *Daemon) Serve() error {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, disconnects all peers and waits for handler
+// goroutines.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	peers := make([]*peer, 0, len(d.renderers)+len(d.displays))
+	for _, p := range d.renderers {
+		peers = append(peers, p)
+	}
+	for _, p := range d.displays {
+		peers = append(peers, p)
+	}
+	d.mu.Unlock()
+	err := d.ln.Close()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+func (d *Daemon) handle(conn net.Conn) {
+	defer conn.Close()
+	hello, err := ReadMessage(conn)
+	if err != nil || hello.Type != MsgHello || len(hello.Payload) < 1 {
+		d.logf("daemon: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	role := Role(hello.Payload[0])
+	if role != RoleRenderer && role != RoleDisplay {
+		d.logf("daemon: unknown role %d", role)
+		return
+	}
+	p := &peer{role: role, conn: conn, out: make(chan Message, 4*d.BufferFrames), done: make(chan struct{})}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.nextID++
+	p.id = d.nextID
+	if role == RoleRenderer {
+		d.renderers[p.id] = p
+	} else {
+		d.displays[p.id] = p
+	}
+	d.mu.Unlock()
+	d.logf("daemon: %s %d connected from %v", role, p.id, conn.RemoteAddr())
+
+	// Welcome ack: the peer's Dial blocks until registration is
+	// complete, so frames sent right after connecting cannot race past
+	// a display that is still registering.
+	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: []byte{byte(role)}}); err != nil {
+		d.mu.Lock()
+		delete(d.renderers, p.id)
+		delete(d.displays, p.id)
+		d.mu.Unlock()
+		close(p.done)
+		return
+	}
+
+	defer func() {
+		d.mu.Lock()
+		delete(d.renderers, p.id)
+		delete(d.displays, p.id)
+		d.mu.Unlock()
+		close(p.done)
+		d.logf("daemon: %s %d disconnected", role, p.id)
+	}()
+
+	// Writer drains the outbound queue.
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for {
+			select {
+			case m := <-p.out:
+				if err := WriteMessage(conn, m); err != nil {
+					conn.Close()
+					return
+				}
+			case <-p.done:
+				return
+			}
+		}
+	}()
+
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			d.logf("daemon: read from %s %d: %v", role, p.id, err)
+			return
+		}
+		switch m.Type {
+		case MsgImage:
+			if role != RoleRenderer {
+				d.logf("daemon: image from display %d ignored", p.id)
+				continue
+			}
+			d.forwardToDisplays(m)
+		case MsgControl:
+			if role != RoleDisplay {
+				d.logf("daemon: control from renderer %d ignored", p.id)
+				continue
+			}
+			d.routeToRenderers(m)
+		case MsgBye:
+			return
+		default:
+			d.logf("daemon: unknown message type %d from %s %d", m.Type, role, p.id)
+		}
+	}
+}
+
+// forwardToDisplays enqueues an image for every display, dropping the
+// oldest queued message when a display's buffer is full.
+func (d *Daemon) forwardToDisplays(m Message) {
+	d.mu.Lock()
+	targets := make([]*peer, 0, len(d.displays))
+	for _, p := range d.displays {
+		targets = append(targets, p)
+	}
+	d.mu.Unlock()
+	for _, p := range targets {
+		for {
+			select {
+			case p.out <- m:
+				d.stats.ImagesForwarded.Add(1)
+				d.stats.BytesForwarded.Add(int64(len(m.Payload)))
+			default:
+				// Buffer full: drop the oldest and retry.
+				select {
+				case <-p.out:
+					d.stats.ImagesDropped.Add(1)
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// routeToRenderers passes a control message to every renderer — the
+// "remote callback" path.
+func (d *Daemon) routeToRenderers(m Message) {
+	d.mu.Lock()
+	targets := make([]*peer, 0, len(d.renderers))
+	for _, p := range d.renderers {
+		targets = append(targets, p)
+	}
+	d.mu.Unlock()
+	for _, p := range targets {
+		select {
+		case p.out <- m:
+			d.stats.ControlsRouted.Add(1)
+		case <-p.done:
+		}
+	}
+}
+
+// ListenAndServe starts a daemon on addr (e.g. "127.0.0.1:0") and
+// serves on a background goroutine; the returned daemon is ready.
+func ListenAndServe(addr string) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	d := NewDaemon(ln)
+	go func() {
+		if err := d.Serve(); err != nil {
+			log.Printf("transport: daemon serve: %v", err)
+		}
+	}()
+	return d, nil
+}

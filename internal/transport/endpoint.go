@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Endpoint is one side's connection to the display daemon: the
+// renderer interface (role renderer) or the display interface (role
+// display). It serializes writes and delivers inbound messages on a
+// channel.
+type Endpoint struct {
+	conn net.Conn
+	role Role
+
+	wmu sync.Mutex
+
+	inbox   chan Message
+	readErr error
+	once    sync.Once
+}
+
+// Dial connects to the daemon at addr with the given role, optionally
+// wrapping the socket (e.g. with a wan.Shape) via wrap (nil = raw).
+func Dial(addr string, role Role, wrap func(net.Conn) net.Conn) (*Endpoint, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	return NewEndpoint(conn, role)
+}
+
+// NewEndpoint performs the handshake on an existing connection: it
+// announces the role and waits for the daemon's welcome, so a
+// successfully returned endpoint is fully registered.
+func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
+	e := &Endpoint{conn: conn, role: role, inbox: make(chan Message, 64)}
+	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: []byte{byte(role)}}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	welcome, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake rejected: %w", err)
+	}
+	if welcome.Type != MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("transport: unexpected handshake reply type %d", welcome.Type)
+	}
+	go e.readLoop()
+	return e, nil
+}
+
+func (e *Endpoint) readLoop() {
+	for {
+		m, err := ReadMessage(e.conn)
+		if err != nil {
+			e.readErr = err
+			close(e.inbox)
+			return
+		}
+		e.inbox <- m
+	}
+}
+
+// Inbox delivers messages from the daemon; it closes when the
+// connection drops.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Send writes a message to the daemon; safe for concurrent use.
+func (e *Endpoint) Send(m Message) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return WriteMessage(e.conn, m)
+}
+
+// SendImage marshals and sends an image piece.
+func (e *Endpoint) SendImage(im *ImageMsg) error {
+	p, err := im.Marshal()
+	if err != nil {
+		return err
+	}
+	return e.Send(Message{Type: MsgImage, Payload: p})
+}
+
+// SendControl marshals and sends a control message.
+func (e *Endpoint) SendControl(c *ControlMsg) error {
+	p, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return e.Send(Message{Type: MsgControl, Payload: p})
+}
+
+// Close sends a best-effort Bye and closes the socket.
+func (e *Endpoint) Close() error {
+	var err error
+	e.once.Do(func() {
+		_ = e.Send(Message{Type: MsgBye})
+		err = e.conn.Close()
+	})
+	return err
+}

@@ -1,0 +1,194 @@
+// Package transport implements the paper's image-transport framework:
+// a length-prefixed tagged-message wire protocol, the display daemon
+// that relays images from render nodes to display clients and control
+// messages ("remote callbacks") back, and the renderer/display
+// interface endpoints.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Role identifies an endpoint at handshake.
+type Role byte
+
+// Endpoint roles.
+const (
+	RoleRenderer Role = 1
+	RoleDisplay  Role = 2
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleRenderer:
+		return "renderer"
+	case RoleDisplay:
+		return "display"
+	}
+	return fmt.Sprintf("role(%d)", byte(r))
+}
+
+// MsgType tags a wire message.
+type MsgType byte
+
+// Wire message types.
+const (
+	// MsgHello opens a connection: payload is [role byte].
+	MsgHello MsgType = 1
+	// MsgImage carries one (piece of a) rendered frame.
+	MsgImage MsgType = 2
+	// MsgControl carries a tagged user-control message toward the
+	// renderers.
+	MsgControl MsgType = 3
+	// MsgBye announces a clean shutdown of the peer.
+	MsgBye MsgType = 4
+)
+
+// maxMessage bounds a wire message to keep a corrupt length prefix
+// from exhausting memory (64 MiB fits a raw 2048^2 frame with room).
+const maxMessage = 64 << 20
+
+// Message is one framed unit.
+type Message struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Payload) > maxMessage {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(m.Payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(m.Payload)))
+	hdr[4] = byte(m.Type)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxMessage {
+		return Message{}, fmt.Errorf("transport: message length %d exceeds limit", n)
+	}
+	m := Message{Type: MsgType(hdr[4]), Payload: make([]byte, n)}
+	if _, err := io.ReadFull(r, m.Payload); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// ImageMsg is the payload of MsgImage: one compressed piece of a
+// frame. A full frame is PieceCount pieces covering [0,W)x[0,H);
+// single-piece frames have PieceCount 1.
+type ImageMsg struct {
+	// FrameID is the time step / sequence number.
+	FrameID uint32
+	// PieceIndex and PieceCount describe parallel-compression pieces.
+	PieceIndex uint16
+	PieceCount uint16
+	// X0, Y0, X1, Y1 is the piece's region in the full frame.
+	X0, Y0, X1, Y1 uint16
+	// W, H are the full-frame dimensions.
+	W, H uint16
+	// Codec names the compression used for Data.
+	Codec string
+	// Data is the codec output for this piece.
+	Data []byte
+}
+
+// ErrTruncated reports a structurally short payload.
+var ErrTruncated = errors.New("transport: truncated payload")
+
+// Marshal serializes the image message.
+func (m *ImageMsg) Marshal() ([]byte, error) {
+	if len(m.Codec) > 255 {
+		return nil, fmt.Errorf("transport: codec name too long")
+	}
+	out := make([]byte, 0, 21+len(m.Codec)+len(m.Data))
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], m.FrameID)
+	out = append(out, b[:]...)
+	for _, v := range []uint16{m.PieceIndex, m.PieceCount, m.X0, m.Y0, m.X1, m.Y1, m.W, m.H} {
+		binary.BigEndian.PutUint16(b[:2], v)
+		out = append(out, b[:2]...)
+	}
+	out = append(out, byte(len(m.Codec)))
+	out = append(out, m.Codec...)
+	return append(out, m.Data...), nil
+}
+
+// UnmarshalImage parses an ImageMsg payload.
+func UnmarshalImage(p []byte) (*ImageMsg, error) {
+	if len(p) < 21 {
+		return nil, ErrTruncated
+	}
+	m := &ImageMsg{FrameID: binary.BigEndian.Uint32(p)}
+	vals := []*uint16{&m.PieceIndex, &m.PieceCount, &m.X0, &m.Y0, &m.X1, &m.Y1, &m.W, &m.H}
+	off := 4
+	for _, v := range vals {
+		*v = binary.BigEndian.Uint16(p[off:])
+		off += 2
+	}
+	nameLen := int(p[off])
+	off++
+	if len(p) < off+nameLen {
+		return nil, ErrTruncated
+	}
+	m.Codec = string(p[off : off+nameLen])
+	m.Data = p[off+nameLen:]
+	if m.PieceCount == 0 {
+		return nil, fmt.Errorf("transport: piece count 0")
+	}
+	if m.PieceIndex >= m.PieceCount {
+		return nil, fmt.Errorf("transport: piece %d of %d", m.PieceIndex, m.PieceCount)
+	}
+	if m.X1 <= m.X0 || m.Y1 <= m.Y0 || m.X1 > m.W || m.Y1 > m.H {
+		return nil, fmt.Errorf("transport: bad region [%d,%d)x[%d,%d) in %dx%d", m.X0, m.X1, m.Y0, m.Y1, m.W, m.H)
+	}
+	return m, nil
+}
+
+// ControlMsg is the payload of MsgControl: a tagged message passed
+// through the daemon to every renderer interface as a remote callback.
+type ControlMsg struct {
+	// Tag names the callback ("view", "colormap", "codec", "start",
+	// "stop", ...).
+	Tag string
+	// Data is the tag-specific payload.
+	Data []byte
+}
+
+// Marshal serializes the control message.
+func (m *ControlMsg) Marshal() ([]byte, error) {
+	if len(m.Tag) > 255 {
+		return nil, fmt.Errorf("transport: control tag too long")
+	}
+	out := make([]byte, 0, 1+len(m.Tag)+len(m.Data))
+	out = append(out, byte(len(m.Tag)))
+	out = append(out, m.Tag...)
+	return append(out, m.Data...), nil
+}
+
+// UnmarshalControl parses a ControlMsg payload.
+func UnmarshalControl(p []byte) (*ControlMsg, error) {
+	if len(p) < 1 {
+		return nil, ErrTruncated
+	}
+	n := int(p[0])
+	if len(p) < 1+n {
+		return nil, ErrTruncated
+	}
+	return &ControlMsg{Tag: string(p[1 : 1+n]), Data: p[1+n:]}, nil
+}

@@ -1,0 +1,229 @@
+package vol
+
+import (
+	"fmt"
+)
+
+// Box is an axis-aligned integer region of grid points, inclusive lower
+// bound, exclusive upper bound: [X0,X1) x [Y0,Y1) x [Z0,Z1).
+type Box struct {
+	X0, Y0, Z0 int
+	X1, Y1, Z1 int
+}
+
+// Dims returns the extents of the box.
+func (b Box) Dims() Dims { return Dims{b.X1 - b.X0, b.Y1 - b.Y0, b.Z1 - b.Z0} }
+
+// Count returns the number of grid points inside the box.
+func (b Box) Count() int { return b.Dims().Count() }
+
+// Empty reports whether the box contains no grid points.
+func (b Box) Empty() bool {
+	return b.X1 <= b.X0 || b.Y1 <= b.Y0 || b.Z1 <= b.Z0
+}
+
+// Contains reports whether grid point (x,y,z) lies inside the box.
+func (b Box) Contains(x, y, z int) bool {
+	return x >= b.X0 && x < b.X1 && y >= b.Y0 && y < b.Y1 && z >= b.Z0 && z < b.Z1
+}
+
+// Intersect returns the intersection of two boxes (possibly empty).
+func (b Box) Intersect(o Box) Box {
+	r := Box{
+		X0: maxInt(b.X0, o.X0), Y0: maxInt(b.Y0, o.Y0), Z0: maxInt(b.Z0, o.Z0),
+		X1: minInt(b.X1, o.X1), Y1: minInt(b.Y1, o.Y1), Z1: minInt(b.Z1, o.Z1),
+	}
+	if r.Empty() {
+		return Box{}
+	}
+	return r
+}
+
+// Center returns the box center in continuous grid coordinates.
+func (b Box) Center() (x, y, z float64) {
+	return float64(b.X0+b.X1) / 2, float64(b.Y0+b.Y1) / 2, float64(b.Z0+b.Z1) / 2
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)x[%d,%d)", b.X0, b.X1, b.Y0, b.Y1, b.Z0, b.Z1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Bounds returns the full-volume box.
+func (v *Volume) Bounds() Box {
+	return Box{X1: v.Dims.NX, Y1: v.Dims.NY, Z1: v.Dims.NZ}
+}
+
+// Brick is a subvolume extracted for one processor node: the data of a
+// Box region (with optional ghost layer) plus its placement inside the
+// parent volume. Sampling coordinates are in parent-volume grid space.
+type Brick struct {
+	// Region is the owned region in parent grid coordinates
+	// (excluding ghost cells).
+	Region Box
+	// Data is the extracted subvolume, including ghost cells.
+	Data *Volume
+	// Origin is the parent grid coordinate of Data's (0,0,0), i.e.
+	// Region expanded by the ghost layer and clamped to the parent.
+	Origin [3]int
+	// ParentDims and ParentMin/ParentMax carry the parent volume's
+	// dimensions and value range so bricks normalize identically.
+	ParentDims Dims
+	ParentMin  float32
+	ParentMax  float32
+}
+
+// Extract copies the box region, expanded by ghost cells on each side
+// (clamped to the volume), into a standalone Brick. Ghost cells give
+// the ray caster enough neighborhood for interpolation and gradients
+// at brick boundaries.
+func (v *Volume) Extract(region Box, ghost int) (*Brick, error) {
+	region = region.Intersect(v.Bounds())
+	if region.Empty() {
+		return nil, fmt.Errorf("vol: empty extraction region")
+	}
+	g := Box{
+		X0: maxInt(region.X0-ghost, 0), Y0: maxInt(region.Y0-ghost, 0), Z0: maxInt(region.Z0-ghost, 0),
+		X1: minInt(region.X1+ghost, v.Dims.NX), Y1: minInt(region.Y1+ghost, v.Dims.NY), Z1: minInt(region.Z1+ghost, v.Dims.NZ),
+	}
+	sub, err := New(g.Dims())
+	if err != nil {
+		return nil, err
+	}
+	for z := g.Z0; z < g.Z1; z++ {
+		for y := g.Y0; y < g.Y1; y++ {
+			srcOff := v.Index(g.X0, y, z)
+			dstOff := sub.Index(0, y-g.Y0, z-g.Z0)
+			copy(sub.Data[dstOff:dstOff+g.X1-g.X0], v.Data[srcOff:srcOff+g.X1-g.X0])
+		}
+	}
+	sub.UpdateRange()
+	return &Brick{
+		Region:     region,
+		Data:       sub,
+		Origin:     [3]int{g.X0, g.Y0, g.Z0},
+		ParentDims: v.Dims,
+		ParentMin:  v.Min,
+		ParentMax:  v.Max,
+	}, nil
+}
+
+// Sample interpolates the brick at parent-volume grid coordinates.
+// Coordinates outside the brick's stored region clamp to its border.
+func (b *Brick) Sample(x, y, z float64) float32 {
+	return b.Data.Sample(x-float64(b.Origin[0]), y-float64(b.Origin[1]), z-float64(b.Origin[2]))
+}
+
+// Gradient estimates the gradient at parent-volume grid coordinates.
+func (b *Brick) Gradient(x, y, z float64) (gx, gy, gz float32) {
+	return b.Data.Gradient(x-float64(b.Origin[0]), y-float64(b.Origin[1]), z-float64(b.Origin[2]))
+}
+
+// Normalize maps a raw value to [0,1] using the parent volume's range,
+// so all bricks of one volume classify consistently.
+func (b *Brick) Normalize(val float32) float32 {
+	if b.ParentMax <= b.ParentMin {
+		return 0
+	}
+	f := (val - b.ParentMin) / (b.ParentMax - b.ParentMin)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// SplitKD partitions the full-volume bounds into n boxes of
+// near-equal grid-point counts by recursive longest-axis bisection
+// (a k-d style decomposition). n need not be a power of two: at each
+// step the region splits into two parts whose target counts are
+// ceil(n/2) and floor(n/2), with the cut plane placed proportionally.
+// The returned boxes tile the volume exactly, in recursion order: for
+// power-of-two n, index bit k (counting from the least-significant
+// bit) selects the side of the cut at recursion depth log2(n)-1-k.
+// Binary-swap compositing depends on this layout — boxes assigned to
+// ranks in index order make every swap stage pair two plane-separated
+// subtrees.
+func SplitKD(d Dims, n int) ([]Box, error) {
+	if !d.Valid() {
+		return nil, fmt.Errorf("%w: %v", ErrDims, d)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("vol: split count %d < 1", n)
+	}
+	if n > d.Count() {
+		return nil, fmt.Errorf("vol: cannot split %v into %d nonempty boxes", d, n)
+	}
+	full := Box{X1: d.NX, Y1: d.NY, Z1: d.NZ}
+	out := make([]Box, 0, n)
+	splitRec(full, n, &out)
+	return out, nil
+}
+
+func splitRec(b Box, n int, out *[]Box) {
+	if n == 1 {
+		*out = append(*out, b)
+		return
+	}
+	nHi := n / 2
+	nLo := n - nHi
+	d := b.Dims()
+	// Choose the longest axis that can still be cut.
+	axis := 0
+	ext := [3]int{d.NX, d.NY, d.NZ}
+	for a := 1; a < 3; a++ {
+		if ext[a] > ext[axis] {
+			axis = a
+		}
+	}
+	// Place the cut proportionally to the target counts, keeping at
+	// least one plane on each side and leaving each side enough grid
+	// points to host its share of boxes.
+	span := ext[axis]
+	cut := span * nLo / n
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > span-1 {
+		cut = span - 1
+	}
+	lo, hi := b, b
+	switch axis {
+	case 0:
+		lo.X1 = b.X0 + cut
+		hi.X0 = b.X0 + cut
+	case 1:
+		lo.Y1 = b.Y0 + cut
+		hi.Y0 = b.Y0 + cut
+	case 2:
+		lo.Z1 = b.Z0 + cut
+		hi.Z0 = b.Z0 + cut
+	}
+	// Guard against a side too small for its box count (possible with
+	// extreme aspect ratios): rebalance counts toward the larger side.
+	for nLo > lo.Count() {
+		nLo--
+		nHi++
+	}
+	for nHi > hi.Count() {
+		nHi--
+		nLo++
+	}
+	splitRec(lo, nLo, out)
+	splitRec(hi, nHi, out)
+}

@@ -1,0 +1,259 @@
+// Package vol provides regular-grid scalar volume data structures used
+// throughout the rendering pipeline: storage, trilinear sampling,
+// gradient estimation, and subdivision into bricks for distribution to
+// processor nodes.
+//
+// A Volume stores one scalar value per grid point in x-fastest order
+// (index = x + y*nx + z*nx*ny), matching the raw layout the paper's
+// datasets use. Values are float32; transfer functions normalize using
+// the volume's value range.
+package vol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dims describes the grid resolution of a volume.
+type Dims struct {
+	NX, NY, NZ int
+}
+
+// Count returns the total number of grid points.
+func (d Dims) Count() int { return d.NX * d.NY * d.NZ }
+
+// Valid reports whether all extents are positive.
+func (d Dims) Valid() bool { return d.NX > 0 && d.NY > 0 && d.NZ > 0 }
+
+// String formats the dimensions as "NXxNYxNZ".
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.NX, d.NY, d.NZ) }
+
+// Bytes returns the storage size in bytes for a float32 scalar field of
+// these dimensions.
+func (d Dims) Bytes() int64 { return int64(d.Count()) * 4 }
+
+// Volume is a regular-grid scalar field. The physical domain is the
+// axis-aligned box [0,NX-1]x[0,NY-1]x[0,NZ-1] in grid coordinates; the
+// renderer maps grid coordinates into world space.
+type Volume struct {
+	Dims Dims
+	// Data holds the scalar values in x-fastest order. len(Data) ==
+	// Dims.Count().
+	Data []float32
+	// Min and Max cache the value range (see UpdateRange).
+	Min, Max float32
+}
+
+// ErrDims reports an invalid dimension specification.
+var ErrDims = errors.New("vol: invalid dimensions")
+
+// New allocates a zero-filled volume with the given dimensions.
+func New(d Dims) (*Volume, error) {
+	if !d.Valid() {
+		return nil, fmt.Errorf("%w: %v", ErrDims, d)
+	}
+	return &Volume{Dims: d, Data: make([]float32, d.Count())}, nil
+}
+
+// MustNew is New but panics on error; for tests and generators with
+// known-good dimensions.
+func MustNew(d Dims) *Volume {
+	v, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FromData wraps an existing data slice; it must have exactly
+// d.Count() elements.
+func FromData(d Dims, data []float32) (*Volume, error) {
+	if !d.Valid() {
+		return nil, fmt.Errorf("%w: %v", ErrDims, d)
+	}
+	if len(data) != d.Count() {
+		return nil, fmt.Errorf("vol: data length %d != %d for dims %v", len(data), d.Count(), d)
+	}
+	v := &Volume{Dims: d, Data: data}
+	v.UpdateRange()
+	return v, nil
+}
+
+// Index returns the linear index of grid point (x,y,z). No bounds
+// checking; callers must pass in-range coordinates.
+func (v *Volume) Index(x, y, z int) int {
+	return x + v.Dims.NX*(y+v.Dims.NY*z)
+}
+
+// At returns the value at grid point (x,y,z).
+func (v *Volume) At(x, y, z int) float32 { return v.Data[v.Index(x, y, z)] }
+
+// Set stores val at grid point (x,y,z).
+func (v *Volume) Set(x, y, z int, val float32) { v.Data[v.Index(x, y, z)] = val }
+
+// AtClamped returns the value at (x,y,z) with coordinates clamped into
+// range, so out-of-bounds lookups repeat the boundary value.
+func (v *Volume) AtClamped(x, y, z int) float32 {
+	x = clampInt(x, 0, v.Dims.NX-1)
+	y = clampInt(y, 0, v.Dims.NY-1)
+	z = clampInt(z, 0, v.Dims.NZ-1)
+	return v.Data[v.Index(x, y, z)]
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// UpdateRange recomputes Min and Max from the data. Call after bulk
+// writes to Data.
+func (v *Volume) UpdateRange() {
+	if len(v.Data) == 0 {
+		v.Min, v.Max = 0, 0
+		return
+	}
+	mn, mx := v.Data[0], v.Data[0]
+	for _, x := range v.Data {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	v.Min, v.Max = mn, mx
+}
+
+// Normalize maps a raw value into [0,1] using the cached range. A
+// degenerate range maps everything to 0.
+func (v *Volume) Normalize(val float32) float32 {
+	if v.Max <= v.Min {
+		return 0
+	}
+	f := (val - v.Min) / (v.Max - v.Min)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Sample returns the trilinearly interpolated value at continuous grid
+// coordinates (x,y,z). Coordinates outside the grid are clamped to the
+// boundary.
+func (v *Volume) Sample(x, y, z float64) float32 {
+	nx, ny, nz := v.Dims.NX, v.Dims.NY, v.Dims.NZ
+	if x < 0 {
+		x = 0
+	} else if x > float64(nx-1) {
+		x = float64(nx - 1)
+	}
+	if y < 0 {
+		y = 0
+	} else if y > float64(ny-1) {
+		y = float64(ny - 1)
+	}
+	if z < 0 {
+		z = 0
+	} else if z > float64(nz-1) {
+		z = float64(nz - 1)
+	}
+	x0, y0, z0 := int(x), int(y), int(z)
+	x1, y1, z1 := x0+1, y0+1, z0+1
+	if x1 > nx-1 {
+		x1 = nx - 1
+	}
+	if y1 > ny-1 {
+		y1 = ny - 1
+	}
+	if z1 > nz-1 {
+		z1 = nz - 1
+	}
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	fz := float32(z - float64(z0))
+
+	i000 := v.Index(x0, y0, z0)
+	i100 := v.Index(x1, y0, z0)
+	i010 := v.Index(x0, y1, z0)
+	i110 := v.Index(x1, y1, z0)
+	i001 := v.Index(x0, y0, z1)
+	i101 := v.Index(x1, y0, z1)
+	i011 := v.Index(x0, y1, z1)
+	i111 := v.Index(x1, y1, z1)
+	d := v.Data
+
+	c00 := d[i000] + fx*(d[i100]-d[i000])
+	c10 := d[i010] + fx*(d[i110]-d[i010])
+	c01 := d[i001] + fx*(d[i101]-d[i001])
+	c11 := d[i011] + fx*(d[i111]-d[i011])
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return c0 + fz*(c1-c0)
+}
+
+// Gradient estimates the scalar-field gradient at continuous grid
+// coordinates using central differences of trilinear samples. The
+// result is used for shading.
+func (v *Volume) Gradient(x, y, z float64) (gx, gy, gz float32) {
+	const h = 1.0
+	gx = (v.Sample(x+h, y, z) - v.Sample(x-h, y, z)) * 0.5
+	gy = (v.Sample(x, y+h, z) - v.Sample(x, y-h, z)) * 0.5
+	gz = (v.Sample(x, y, z+h) - v.Sample(x, y, z-h)) * 0.5
+	return
+}
+
+// Fill sets every grid point from f(x,y,z) and refreshes the range.
+func (v *Volume) Fill(f func(x, y, z int) float32) {
+	i := 0
+	for z := 0; z < v.Dims.NZ; z++ {
+		for y := 0; y < v.Dims.NY; y++ {
+			for x := 0; x < v.Dims.NX; x++ {
+				v.Data[i] = f(x, y, z)
+				i++
+			}
+		}
+	}
+	v.UpdateRange()
+}
+
+// Clone returns a deep copy of the volume.
+func (v *Volume) Clone() *Volume {
+	c := &Volume{Dims: v.Dims, Data: make([]float32, len(v.Data)), Min: v.Min, Max: v.Max}
+	copy(c.Data, v.Data)
+	return c
+}
+
+// Equal reports whether two volumes have identical dimensions and data.
+func (v *Volume) Equal(o *Volume) bool {
+	if v.Dims != o.Dims {
+		return false
+	}
+	for i := range v.Data {
+		if v.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RMS returns the root-mean-square of the field, a cheap content
+// fingerprint used by tests.
+func (v *Volume) RMS() float64 {
+	if len(v.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v.Data {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s / float64(len(v.Data)))
+}
