@@ -3,6 +3,13 @@
 // user-control messages back.
 //
 //	displaydaemon -listen 127.0.0.1:7420
+//
+// With -adaptive it runs the stream broker instead: frames are decoded
+// once and re-encoded per client at an adaptively chosen codec/quality
+// (held in an encode-once fan-out cache), and each client's delivery
+// is paced to its link with a bounded drop-oldest queue.
+//
+//	displaydaemon -listen 127.0.0.1:7420 -adaptive -target 200ms
 package main
 
 import (
@@ -11,24 +18,35 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
+	"repro/internal/stream"
 	"repro/internal/transport"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7420", "listen address")
-	buffer := flag.Int("buffer", 8, "per-display image buffer depth")
+	buffer := flag.Int("buffer", 8, "per-display image buffer depth (plain mode)")
+	adaptive := flag.Bool("adaptive", false, "run the adaptive stream broker (per-client rate control)")
+	target := flag.Duration("target", 200*time.Millisecond, "adaptive: target inter-frame delay per client")
+	queue := flag.Int("queue", 3, "adaptive: per-client frame queue depth (drop-oldest)")
+	cacheFrames := flag.Int("cache", 4, "adaptive: frames retained in the encode fan-out cache")
 	verbose := flag.Bool("v", false, "log connections and drops")
 	flag.Parse()
+
+	if *adaptive {
+		runAdaptive(*listen, *target, *queue, *cacheFrames, *verbose)
+		return
+	}
 
 	d, err := transport.ListenAndServe(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "displaydaemon:", err)
 		os.Exit(1)
 	}
-	d.BufferFrames = *buffer
+	d.SetBufferFrames(*buffer)
 	if *verbose {
-		d.Logf = log.Printf
+		d.SetLogf(log.Printf)
 	}
 	fmt.Printf("display daemon listening on %s\n", d.Addr())
 
@@ -36,8 +54,36 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	st := d.Stats()
-	fmt.Printf("\nforwarded %d images (%d bytes), dropped %d, routed %d controls\n",
+	fmt.Printf("\nforwarded %d images (%d bytes), dropped %d, routed %d controls, %d acks\n",
 		st.ImagesForwarded.Load(), st.BytesForwarded.Load(),
-		st.ImagesDropped.Load(), st.ControlsRouted.Load())
+		st.ImagesDropped.Load(), st.ControlsRouted.Load(), st.AcksReceived.Load())
 	d.Close()
+}
+
+func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, verbose bool) {
+	cfg := stream.Config{Target: target, QueueDepth: queue, CacheFrames: cacheFrames}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	b, err := stream.ListenAndServe(listen, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "displaydaemon:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("adaptive stream broker listening on %s (target %v, queue %d, cache %d frames)\n",
+		b.Addr(), target, queue, cacheFrames)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := b.Stats()
+	cs := b.Cache().Stats()
+	fmt.Printf("\nframes in %d, frames out %d (%d bytes), encodes %d, drops %d, cache hit rate %.2f\n",
+		st.FramesIn.Load(), st.FramesOut.Load(), st.BytesOut.Load(),
+		st.Encodes.Load(), st.Drops.Load(), cs.HitRate())
+	for _, c := range b.ClientSnapshots() {
+		fmt.Printf("client %d (%s): %d frames, %s, est %.0f KB/s, rtt %v, drops %d\n",
+			c.ID, c.Remote, c.FramesSent, c.Point, c.Bandwidth/1e3, c.RTT, c.Drops)
+	}
+	b.Close()
 }

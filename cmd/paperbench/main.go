@@ -1,14 +1,16 @@
 // Command paperbench regenerates the paper's tables and figures.
 //
-//	paperbench                 # run every experiment at paper scale
-//	paperbench -exp table1     # one experiment
-//	paperbench -quick          # reduced sizes/links for a fast pass
+//	paperbench                     # run every experiment at paper scale
+//	paperbench -exp table1         # one experiment
+//	paperbench -quick              # reduced sizes/links for a fast pass
+//	paperbench -json results.json  # also write machine-readable results
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
-// datasets, all.
+// datasets, hybrid, trace, adaptive, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,adaptive,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
+	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	flag.Parse()
 
 	ctx := experiments.New(os.Stdout, *quick)
-	runners := map[string]func() error{
+	runners := map[string]func() (any, error){
 		"table1":   wrap(ctx.Table1),
 		"table2":   wrap(ctx.Table2),
 		"fig6":     wrap(ctx.Fig6),
@@ -35,8 +38,9 @@ func main() {
 		"datasets": wrap(ctx.Datasets),
 		"hybrid":   wrap(ctx.Hybrid),
 		"trace":    wrap(ctx.Trace),
+		"adaptive": wrap(ctx.Adaptive),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "adaptive"}
 
 	var todo []string
 	switch *exp {
@@ -50,18 +54,38 @@ func main() {
 		}
 		todo = []string{*exp}
 	}
+	results := map[string]any{}
 	for _, name := range todo {
-		if err := runners[name](); err != nil {
+		res, err := runners[name]()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		results[name] = res
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: encode results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 
-// wrap adapts the typed experiment runners to a uniform signature.
-func wrap[T any](f func() (T, error)) func() error {
-	return func() error {
-		_, err := f()
-		return err
+// wrap adapts the typed experiment runners to a uniform signature that
+// preserves the result for -json output.
+func wrap[T any](f func() (T, error)) func() (any, error) {
+	return func() (any, error) {
+		res, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 }

@@ -5,11 +5,13 @@
 //
 //	viewer -daemon 127.0.0.1:7420 -save frames/ -frames 30
 //	viewer -daemon 127.0.0.1:7420 -colormap vortex -codec jpeg+bzip
+//	viewer -daemon 127.0.0.1:7420 -link japan-ucd   # emulated WAN downlink
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/tf"
 	"repro/internal/transport"
+	"repro/internal/wan"
 )
 
 func main() {
@@ -29,13 +32,24 @@ func main() {
 	elevation := flag.Float64("elevation", 0, "view elevation (rad)")
 	distance := flag.Float64("distance", 0, "view distance (x volume diagonal); 0 = no view change")
 	stride := flag.Int("stride", 0, "send a preview-mode stride (render every k-th step; 0 = no change)")
+	noack := flag.Bool("noack", false, "do not report frame receive timestamps (disables the adaptive daemon's feedback)")
+	link := flag.String("link", "", "emulate receiving over a WAN profile (nasa-ucd, japan-ucd, lan); pace reads so the daemon sees that downlink")
 	flag.Parse()
 
-	ep, err := transport.Dial(*daemon, transport.RoleDisplay, nil)
+	var wrap func(net.Conn) net.Conn
+	if *link != "" {
+		prof, err := wan.ByName(*link)
+		if err != nil {
+			fatal(err)
+		}
+		wrap = func(c net.Conn) net.Conn { return wan.ShapeReads(c, prof) }
+	}
+	ep, err := transport.Dial(*daemon, transport.RoleDisplay, wrap)
 	if err != nil {
 		fatal(err)
 	}
 	v := display.NewViewer(ep)
+	v.SetAutoAck(!*noack)
 	defer v.Close()
 
 	if *colormap != "" {

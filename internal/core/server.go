@@ -128,6 +128,13 @@ func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Advertise the codec families this server can produce: the
+	// adaptive stream broker restricts its per-client quality ladder
+	// to these; the plain daemon ignores the message.
+	if err := ep.Send(transport.Message{Type: transport.MsgAdvertise, Payload: transport.MarshalAdvertise(compress.Names())}); err != nil {
+		ep.Close()
+		return nil, err
+	}
 	s := &Server{
 		opt:   opt,
 		store: store,

@@ -30,6 +30,9 @@ type Frame struct {
 	Bytes int
 	// Pieces is the number of sub-images the frame arrived as.
 	Pieces int
+	// Codec names the compression the frame arrived in (the adaptive
+	// broker varies this per client per frame).
+	Codec string
 }
 
 // Assembler turns incoming image messages into complete frames. It
@@ -127,6 +130,7 @@ func (a *Assembler) Ingest(m *transport.ImageMsg) (*Frame, error) {
 	p.frame.DecodeTime += decodeTime
 	p.frame.Bytes += len(m.Data)
 	p.frame.Pieces++
+	p.frame.Codec = m.Codec
 	if p.frame.Pieces < p.need {
 		return nil, nil
 	}
@@ -178,6 +182,12 @@ type Viewer struct {
 	// mechanism for the user to review previously viewed images").
 	history      []*Frame
 	HistoryDepth int
+
+	// autoAck reports each completed frame's receive timestamp back
+	// through the daemon (MsgAck) — the feedback signal the adaptive
+	// stream broker's RTT estimator runs on. On by default; the plain
+	// daemon just counts the acks.
+	autoAck bool
 }
 
 // ViewerStats aggregates what the viewer saw.
@@ -211,9 +221,17 @@ func NewViewer(ep *transport.Endpoint) *Viewer {
 		errs:         make(chan error, 1),
 		done:         make(chan struct{}),
 		HistoryDepth: 16,
+		autoAck:      true,
 	}
 	go v.loop()
 	return v
+}
+
+// SetAutoAck enables or disables receive-timestamp reporting.
+func (v *Viewer) SetAutoAck(on bool) {
+	v.mu.Lock()
+	v.autoAck = on
+	v.mu.Unlock()
 }
 
 // History returns the most recently displayed frames, oldest first.
@@ -290,6 +308,14 @@ func (v *Viewer) loop() {
 			continue
 		}
 		now := time.Now()
+		v.mu.Lock()
+		autoAck := v.autoAck
+		v.mu.Unlock()
+		if autoAck {
+			ack := transport.AckMsg{FrameID: fr.ID, RecvUnixNano: now.UnixNano(), Bytes: uint32(fr.Bytes)}
+			// Best-effort: a failed ack only costs an RTT sample.
+			_ = v.ep.Send(transport.Message{Type: transport.MsgAck, Payload: ack.Marshal()})
+		}
 		v.mu.Lock()
 		if v.stats.Frames == 0 {
 			v.stats.FirstFrame = now

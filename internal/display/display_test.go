@@ -303,3 +303,62 @@ func TestViewerHistoryDepthZeroDisables(t *testing.T) {
 		t.Fatal("review found a frame with history disabled")
 	}
 }
+
+func TestViewerAutoAckReportsReceipts(t *testing.T) {
+	d, err := transport.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	dispEp, err := transport.Dial(d.Addr().String(), transport.RoleDisplay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewViewer(dispEp)
+	defer v.Close()
+	rend, err := transport.Dial(d.Addr().String(), transport.RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rend.Close()
+
+	f := gradientFrame(16, 16)
+	for _, m := range encodePieces(t, f, "raw", 1, 0) {
+		if err := rend.SendImage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := <-v.Frames()
+	if fr == nil {
+		t.Fatalf("no frame: %v", v.Err())
+	}
+	// The completed frame records which codec carried it.
+	if fr.Codec != "raw" {
+		t.Fatalf("frame codec %q, want raw", fr.Codec)
+	}
+	// The default viewer acks each completed frame; the plain daemon
+	// counts them.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().AcksReceived.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never saw the ack")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// With acking off, further frames produce no acks.
+	v.SetAutoAck(false)
+	before := d.Stats().AcksReceived.Load()
+	for _, m := range encodePieces(t, f, "raw", 1, 1) {
+		if err := rend.SendImage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fr := <-v.Frames(); fr == nil {
+		t.Fatalf("no second frame: %v", v.Err())
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := d.Stats().AcksReceived.Load(); got != before {
+		t.Fatalf("acks went %d -> %d with AutoAck off", before, got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -238,6 +239,52 @@ func TestHybridSweep(t *testing.T) {
 	for _, p := range res.Points {
 		if p.DecodePerFrame <= 0 || p.WirePerFrame <= 0 {
 			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestAdaptiveStreaming(t *testing.T) {
+	c, out := quickCtx()
+	res, err := c.Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: adaptive quality holds >= 2x the fixed-baseline frame
+	// rate on the Japan-UCD link. The ratio is a wall-clock measurement,
+	// so it is only asserted without the race detector's slowdown (the
+	// encode stage becomes the bottleneck instead of the link).
+	if raceEnabled {
+		t.Logf("race detector on: japan speedup %.2fx measured, >=2x assertion skipped", res.JapanSpeedup)
+	} else if res.JapanSpeedup < 2 {
+		t.Fatalf("japan speedup %.2fx (adaptive %.2f fps, fixed %.2f fps), want >= 2x",
+			res.JapanSpeedup, res.JapanAdaptiveFPS, res.JapanFixedFPS)
+	}
+	// Acceptance: the fan-out cache cuts encode invocations >= 4x for 8
+	// same-profile clients vs encode-per-client.
+	if res.EncodeSavings < 4 {
+		t.Fatalf("encode savings %.2fx (%d cached vs %d uncached), want >= 4x",
+			res.EncodeSavings, res.CacheEncodes, res.NoCacheEncodes)
+	}
+	// Slow clients under the fixed baseline shed frames instead of
+	// backlogging (the bound itself is asserted in the stream package).
+	for _, cl := range res.Fixed {
+		if cl.Link == "japan-ucd" && cl.Drops == 0 {
+			t.Errorf("fixed japan client dropped nothing: %+v", cl)
+		}
+	}
+	for _, want := range []string{"japan-ucd frame rate", "fan-out cache"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// The result is what paperbench -json emits; it must round-trip.
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"japan_speedup", "encode_savings", "adaptive"} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("JSON missing %q: %s", key, data)
 		}
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary; timing-ratio assertions are skipped under its 5-20x
+// slowdown.
+const raceEnabled = false

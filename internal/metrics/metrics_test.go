@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -125,5 +126,44 @@ func TestStopwatch(t *testing.T) {
 	}
 	if sw.Phase("missing") != nil {
 		t.Fatal("missing phase must be nil")
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	g := NewGaugeSet()
+	if g.Get("missing") != 0 {
+		t.Fatal("unset gauge not zero")
+	}
+	g.Set("bw", 100)
+	g.Add("bw", 50)
+	g.Add("drops", 1)
+	if g.Get("bw") != 150 || g.Get("drops") != 1 {
+		t.Fatalf("bw=%v drops=%v", g.Get("bw"), g.Get("drops"))
+	}
+	snap := g.Snapshot()
+	g.Set("bw", 0)
+	if snap["bw"] != 150 {
+		t.Fatalf("snapshot not a copy: %v", snap)
+	}
+	names := g.Names()
+	if len(names) != 2 || names[0] != "bw" || names[1] != "drops" {
+		t.Fatalf("names = %v", names)
+	}
+	// Concurrent use is the point of the type.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add("n", 1)
+				_ = g.Get("n")
+				_ = g.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Get("n") != 800 {
+		t.Fatalf("n = %v", g.Get("n"))
 	}
 }

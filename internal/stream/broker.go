@@ -1,0 +1,535 @@
+package stream
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/display"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// BrokerStats counts broker-wide activity.
+type BrokerStats struct {
+	// PiecesIn and FramesIn count renderer input (pieces received,
+	// complete frames assembled).
+	PiecesIn atomic.Int64
+	FramesIn atomic.Int64
+	// Encodes counts actual encode invocations; with the fan-out cache
+	// this is the cache miss count regardless of client count.
+	Encodes atomic.Int64
+	// FramesOut and BytesOut count frames delivered to clients.
+	FramesOut atomic.Int64
+	BytesOut  atomic.Int64
+	// Drops counts frames discarded by per-client pacers.
+	Drops atomic.Int64
+	// ControlsRouted counts user-control messages relayed to
+	// renderers.
+	ControlsRouted atomic.Int64
+}
+
+// Broker is the adaptive display daemon: renderers stream frames in
+// (any registered codec), the broker decodes each frame once, and one
+// session per display re-encodes it at that client's operating point —
+// shared through the EncodeCache — and paces delivery to the client's
+// link. It speaks the transport package's wire protocol, so existing
+// renderer and display endpoints connect unchanged.
+type Broker struct {
+	cfg   Config
+	cache *EncodeCache
+	asm   *display.Assembler
+
+	mu         sync.Mutex
+	ln         net.Listener
+	clients    map[int]*client
+	renderers  map[int]*rendererPeer
+	nextID     int
+	closed     bool
+	advertised []string
+
+	stats BrokerStats
+	wg    sync.WaitGroup
+}
+
+type rendererPeer struct {
+	id   int
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// client is one display session.
+type client struct {
+	id     int
+	remote string
+	conn   net.Conn
+	est    *Estimator
+	ctrl   *Controller
+	pacer  *Pacer
+	gauges *metrics.GaugeSet
+
+	sentMu sync.Mutex
+	sent   map[uint32]time.Time
+
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
+}
+
+// ClientSnapshot is a point-in-time view of one session, for tables
+// and experiment output.
+type ClientSnapshot struct {
+	ID         int
+	Remote     string
+	Point      Point
+	Bandwidth  float64 // bytes per second, EWMA
+	RTT        time.Duration
+	FramesSent int64
+	BytesSent  int64
+	Drops      int64
+	QueueLen   int
+	Gauges     map[string]float64
+}
+
+// NewBroker builds a broker; Serve or ServeConn attach connections.
+func NewBroker(cfg Config) *Broker {
+	cfg = cfg.withDefaults()
+	b := &Broker{
+		cfg:       cfg,
+		cache:     NewEncodeCache(cfg.CacheFrames),
+		asm:       display.NewAssembler(),
+		clients:   map[int]*client{},
+		renderers: map[int]*rendererPeer{},
+	}
+	return b
+}
+
+// ListenAndServe starts a broker on addr and serves on a background
+// goroutine.
+func ListenAndServe(addr string, cfg Config) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen %s: %w", addr, err)
+	}
+	b := NewBroker(cfg)
+	b.mu.Lock()
+	b.ln = ln
+	b.mu.Unlock()
+	go func() { _ = b.Serve(ln) }()
+	return b, nil
+}
+
+// Addr returns the listen address (nil before Serve).
+func (b *Broker) Addr() net.Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ln == nil {
+		return nil
+	}
+	return b.ln.Addr()
+}
+
+// Stats exposes the broker counters.
+func (b *Broker) Stats() *BrokerStats { return &b.stats }
+
+// Cache exposes the encode cache (stats: hits, misses, evictions).
+func (b *Broker) Cache() *EncodeCache { return b.cache }
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener closes.
+func (b *Broker) Serve(ln net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	b.ln = ln
+	b.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		b.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the handshake and session for one pre-established
+// connection on a background goroutine — the hook experiments use to
+// wrap each accepted display connection in its own wan profile.
+func (b *Broker) ServeConn(conn net.Conn) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go func() {
+		defer b.wg.Done()
+		b.handle(conn)
+	}()
+}
+
+// Close stops accepting, tears every session down, and waits for all
+// broker goroutines to exit.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	ln := b.ln
+	conns := make([]net.Conn, 0, len(b.clients)+len(b.renderers))
+	for _, c := range b.clients {
+		c.pacer.Close()
+		conns = append(conns, c.conn)
+	}
+	for _, r := range b.renderers {
+		conns = append(conns, r.conn)
+	}
+	b.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+func (b *Broker) handle(conn net.Conn) {
+	defer conn.Close()
+	hello, err := transport.ReadMessage(conn)
+	if err != nil || hello.Type != transport.MsgHello || len(hello.Payload) < 1 {
+		b.logf("broker: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	role := transport.Role(hello.Payload[0])
+	switch role {
+	case transport.RoleRenderer:
+		b.handleRenderer(conn)
+	case transport.RoleDisplay:
+		b.handleDisplay(conn)
+	default:
+		b.logf("broker: unknown role %d", role)
+	}
+}
+
+func (b *Broker) handleRenderer(conn net.Conn) {
+	r := &rendererPeer{conn: conn}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.nextID++
+	r.id = b.nextID
+	b.renderers[r.id] = r
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.renderers, r.id)
+		b.mu.Unlock()
+		b.logf("broker: renderer %d disconnected", r.id)
+	}()
+	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: []byte{byte(transport.RoleRenderer)}}); err != nil {
+		return
+	}
+	b.logf("broker: renderer %d connected from %v", r.id, conn.RemoteAddr())
+	for {
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case transport.MsgImage:
+			b.ingest(m.Payload)
+		case transport.MsgAdvertise:
+			b.setAdvertised(transport.UnmarshalAdvertise(m.Payload))
+		case transport.MsgBye:
+			return
+		}
+	}
+}
+
+// setAdvertised restricts current and future controllers to the
+// renderer's codec families.
+func (b *Broker) setAdvertised(families []string) {
+	if len(families) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.advertised = families
+	clients := make([]*client, 0, len(b.clients))
+	for _, c := range b.clients {
+		clients = append(clients, c)
+	}
+	b.mu.Unlock()
+	for _, c := range clients {
+		c.ctrl.Restrict(families)
+	}
+	b.logf("broker: renderer advertises %v", families)
+}
+
+// ingest decodes one renderer image piece; when it completes a frame,
+// the frame is offered to every client's pacer (never blocking — a
+// full queue drops its oldest frame).
+func (b *Broker) ingest(payload []byte) {
+	im, err := transport.UnmarshalImage(payload)
+	if err != nil {
+		b.logf("broker: bad image: %v", err)
+		return
+	}
+	b.stats.PiecesIn.Add(1)
+	fr, err := b.asm.Ingest(im)
+	if err != nil {
+		b.logf("broker: decode frame %d: %v", im.FrameID, err)
+		return
+	}
+	if fr == nil {
+		return
+	}
+	b.stats.FramesIn.Add(1)
+	sf := &SourceFrame{ID: fr.ID, Image: fr.Image}
+	b.mu.Lock()
+	clients := make([]*client, 0, len(b.clients))
+	for _, c := range b.clients {
+		clients = append(clients, c)
+	}
+	b.mu.Unlock()
+	for _, c := range clients {
+		before := c.pacer.Drops()
+		c.pacer.Offer(sf)
+		if d := c.pacer.Drops() - before; d > 0 {
+			b.stats.Drops.Add(d)
+		}
+	}
+}
+
+func (b *Broker) handleDisplay(conn net.Conn) {
+	c := &client{
+		conn:   conn,
+		est:    NewEstimator(b.cfg.Alpha),
+		pacer:  NewPacer(b.cfg.QueueDepth),
+		gauges: metrics.NewGaugeSet(),
+		sent:   map[uint32]time.Time{},
+	}
+	if ra := conn.RemoteAddr(); ra != nil {
+		c.remote = ra.String()
+	}
+	c.ctrl = NewController(c.est, b.cfg.Target, b.cfg.Ladder, b.cfg.Alpha, b.cfg.UpHold)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.nextID++
+	c.id = b.nextID
+	b.clients[c.id] = c
+	advertised := b.advertised
+	b.mu.Unlock()
+	if len(advertised) > 0 {
+		c.ctrl.Restrict(advertised)
+	}
+	defer func() {
+		b.mu.Lock()
+		delete(b.clients, c.id)
+		b.mu.Unlock()
+		c.pacer.Close()
+		b.logf("broker: display %d disconnected", c.id)
+	}()
+	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: []byte{byte(transport.RoleDisplay)}}); err != nil {
+		return
+	}
+	b.logf("broker: display %d connected from %v", c.id, c.remote)
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.sender(c)
+	}()
+
+	for {
+		m, err := transport.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case transport.MsgAck:
+			if ack, err := transport.UnmarshalAck(m.Payload); err == nil {
+				b.onAck(c, ack)
+			}
+		case transport.MsgControl:
+			b.routeToRenderers(m)
+		case transport.MsgBye:
+			return
+		}
+	}
+}
+
+// onAck matches the display's receive report to the broker's send
+// timestamp and feeds the round trip to the client's estimator.
+func (b *Broker) onAck(c *client, ack *transport.AckMsg) {
+	c.sentMu.Lock()
+	t0, ok := c.sent[ack.FrameID]
+	if ok {
+		delete(c.sent, ack.FrameID)
+	}
+	c.sentMu.Unlock()
+	if !ok {
+		return
+	}
+	rtt := time.Since(t0)
+	c.est.ObserveRTT(rtt)
+	c.gauges.Set("rtt_ms", float64(rtt)/float64(time.Millisecond))
+}
+
+// routeToRenderers relays a user-control message to every renderer.
+func (b *Broker) routeToRenderers(m transport.Message) {
+	b.mu.Lock()
+	rends := make([]*rendererPeer, 0, len(b.renderers))
+	for _, r := range b.renderers {
+		rends = append(rends, r)
+	}
+	b.mu.Unlock()
+	for _, r := range rends {
+		r.wmu.Lock()
+		err := transport.WriteMessage(r.conn, m)
+		r.wmu.Unlock()
+		if err == nil {
+			b.stats.ControlsRouted.Add(1)
+		}
+	}
+}
+
+// sender is the per-client delivery loop: newest paced frame → pick
+// operating point → encode-once-per-point via the cache → timed write
+// feeding the bandwidth estimator.
+func (b *Broker) sender(c *client) {
+	for {
+		sf, ok := c.pacer.Next()
+		if !ok {
+			return
+		}
+		point := c.ctrl.Pick()
+		if b.cfg.FixedPoint != nil {
+			point = *b.cfg.FixedPoint
+		}
+		encode := func() ([]byte, error) {
+			codec, err := point.FrameCodec()
+			if err != nil {
+				return nil, err
+			}
+			b.stats.Encodes.Add(1)
+			return codec.EncodeFrame(sf.Image)
+		}
+		var data []byte
+		var err error
+		if b.cfg.DisableCache {
+			data, err = encode()
+		} else {
+			data, err = b.cache.GetOrEncode(sf.ID, point, encode)
+		}
+		if err != nil {
+			b.logf("broker: encode frame %d at %s: %v", sf.ID, point, err)
+			continue
+		}
+		c.ctrl.ObserveSize(point, len(data))
+		im := &transport.ImageMsg{
+			FrameID:    sf.ID,
+			PieceCount: 1,
+			X1:         uint16(sf.Image.W), Y1: uint16(sf.Image.H),
+			W: uint16(sf.Image.W), H: uint16(sf.Image.H),
+			Codec: point.Family(),
+			Data:  data,
+		}
+		payload, err := im.Marshal()
+		if err != nil {
+			b.logf("broker: marshal frame %d: %v", sf.ID, err)
+			continue
+		}
+		c.sentMu.Lock()
+		c.sent[sf.ID] = time.Now()
+		// Bound the in-flight map: unacked frames older than the
+		// window just stop contributing RTT samples.
+		if len(c.sent) > 64 {
+			for id := range c.sent {
+				if id+64 < sf.ID {
+					delete(c.sent, id)
+				}
+			}
+		}
+		c.sentMu.Unlock()
+		t0 := time.Now()
+		if err := transport.WriteMessage(c.conn, transport.Message{Type: transport.MsgImage, Payload: payload}); err != nil {
+			c.conn.Close()
+			return
+		}
+		sendTime := time.Since(t0)
+		c.est.Observe(len(payload), sendTime)
+		c.framesSent.Add(1)
+		c.bytesSent.Add(int64(len(payload)))
+		b.stats.FramesOut.Add(1)
+		b.stats.BytesOut.Add(int64(len(payload)))
+		c.gauges.Set("bandwidth_Bps", c.est.Bandwidth())
+		c.gauges.Set("quality", float64(point.Quality))
+		c.gauges.Set("frame_bytes", float64(len(data)))
+		c.gauges.Set("drops", float64(c.pacer.Drops()))
+		c.gauges.Set("queue_len", float64(c.pacer.Len()))
+		c.gauges.Set("cache_hit_rate", b.cache.Stats().HitRate())
+	}
+}
+
+// ClientSnapshots returns a stable view of every connected session,
+// ordered by session ID.
+func (b *Broker) ClientSnapshots() []ClientSnapshot {
+	b.mu.Lock()
+	clients := make([]*client, 0, len(b.clients))
+	for _, c := range b.clients {
+		clients = append(clients, c)
+	}
+	b.mu.Unlock()
+	out := make([]ClientSnapshot, 0, len(clients))
+	for _, c := range clients {
+		out = append(out, ClientSnapshot{
+			ID:         c.id,
+			Remote:     c.remote,
+			Point:      c.ctrl.Current(),
+			Bandwidth:  c.est.Bandwidth(),
+			RTT:        c.est.RTT(),
+			FramesSent: c.framesSent.Load(),
+			BytesSent:  c.bytesSent.Load(),
+			Drops:      c.pacer.Drops(),
+			QueueLen:   c.pacer.Len(),
+			Gauges:     c.gauges.Snapshot(),
+		})
+	}
+	sortSnapshots(out)
+	return out
+}
+
+func sortSnapshots(s []ClientSnapshot) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].ID > s[j].ID; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

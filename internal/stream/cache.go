@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats counts encode-cache activity.
+type CacheStats struct {
+	Hits      atomic.Int64
+	Misses    atomic.Int64
+	Evictions atomic.Int64
+}
+
+// HitRate returns hits / (hits + misses).
+func (s *CacheStats) HitRate() float64 {
+	h, m := s.Hits.Load(), s.Misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+type cacheKey struct {
+	frameID uint32
+	point   string
+}
+
+type cacheEntry struct {
+	ready chan struct{}
+	data  []byte
+	err   error
+}
+
+// EncodeCache is the encode-once fan-out cache: entries are keyed by
+// (frameID, codec, quality), so any number of clients at the same
+// operating point share a single encode. Concurrent requests for a
+// missing key coalesce — the first caller encodes, the rest wait for
+// its result. Old frames are evicted once more than a bounded number
+// of distinct frame IDs are resident (viewers only ever want recent
+// frames, so eviction is by frame age, not LRU touch order).
+type EncodeCache struct {
+	mu       sync.Mutex
+	capacity int // distinct frame IDs retained
+	entries  map[cacheKey]*cacheEntry
+	frames   []uint32 // insertion order of distinct frame IDs
+	stats    CacheStats
+}
+
+// NewEncodeCache retains up to capFrames distinct frame IDs (min 1).
+func NewEncodeCache(capFrames int) *EncodeCache {
+	if capFrames < 1 {
+		capFrames = 1
+	}
+	return &EncodeCache{capacity: capFrames, entries: map[cacheKey]*cacheEntry{}}
+}
+
+// Stats exposes the cache counters.
+func (c *EncodeCache) Stats() *CacheStats { return &c.stats }
+
+// GetOrEncode returns the encoded bytes for (frameID, point), calling
+// encode at most once per key across all concurrent callers. A failed
+// encode is not cached; the next request retries.
+func (c *EncodeCache) GetOrEncode(frameID uint32, p Point, encode func() ([]byte, error)) ([]byte, error) {
+	key := cacheKey{frameID: frameID, point: p.String()}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		c.stats.Hits.Add(1)
+		return e.data, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.noteFrameLocked(frameID)
+	c.mu.Unlock()
+
+	c.stats.Misses.Add(1)
+	e.data, e.err = encode()
+	close(e.ready)
+	if e.err != nil {
+		// Do not poison the cache with a failure.
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.data, nil
+}
+
+// noteFrameLocked records the frame ID and evicts the oldest frames
+// beyond capacity.
+func (c *EncodeCache) noteFrameLocked(frameID uint32) {
+	for _, f := range c.frames {
+		if f == frameID {
+			return
+		}
+	}
+	c.frames = append(c.frames, frameID)
+	for len(c.frames) > c.capacity {
+		victim := c.frames[0]
+		c.frames = c.frames[1:]
+		for k := range c.entries {
+			if k.frameID == victim {
+				delete(c.entries, k)
+				c.stats.Evictions.Add(1)
+			}
+		}
+	}
+}
+
+// Len reports resident entries (for tests).
+func (c *EncodeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

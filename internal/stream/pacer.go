@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/img"
+)
+
+// SourceFrame is one decoded frame offered to the per-client pacers.
+type SourceFrame struct {
+	ID    uint32
+	Image *img.Frame
+}
+
+// Pacer is the per-client frame queue. Offer never blocks: when the
+// queue is full the oldest frame is dropped, so a slow client's
+// backlog is bounded and it always converges on the newest frame while
+// the renderer runs at full speed. Next blocks until a frame or Close.
+type Pacer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int
+	q      []*SourceFrame
+	drops  int64
+	closed bool
+}
+
+// NewPacer bounds the queue to depth frames (min 1).
+func NewPacer(depth int) *Pacer {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pacer{depth: depth}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Offer enqueues a frame, dropping the oldest when full. It reports
+// whether the frame was accepted (false only after Close).
+func (p *Pacer) Offer(f *SourceFrame) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	if len(p.q) >= p.depth {
+		p.q = p.q[1:]
+		p.drops++
+	}
+	p.q = append(p.q, f)
+	p.cond.Signal()
+	return true
+}
+
+// Next blocks for the next frame; ok is false once the pacer is closed
+// and drained.
+func (p *Pacer) Next() (f *SourceFrame, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.q) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.q) == 0 {
+		return nil, false
+	}
+	f = p.q[0]
+	p.q = p.q[1:]
+	return f, true
+}
+
+// Close wakes all waiters; queued frames may still be drained.
+func (p *Pacer) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Len reports the queued frame count (always ≤ the configured depth).
+func (p *Pacer) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q)
+}
+
+// Drops reports how many frames were discarded to bound the backlog.
+func (p *Pacer) Drops() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drops
+}

@@ -1,0 +1,144 @@
+// Package stream is the adaptive streaming subsystem of the display
+// daemon: it turns the daemon from a fixed-quality relay into a stream
+// broker that serves many concurrent viewers over heterogeneous links.
+//
+// Three mechanisms cooperate, per client:
+//
+//   - an EWMA bandwidth/RTT Estimator observes how long each frame
+//     takes to push through the (possibly WAN-shaped) connection and
+//     how long the display's receive acks take to come back;
+//   - a Controller picks the codec and JPEG quality (an operating
+//     Point on a quality Ladder) that the estimated link can carry
+//     within the target inter-frame delay, with hysteresis so the
+//     quality does not flap;
+//   - a Pacer bounds the per-client frame backlog, dropping the
+//     oldest queued frame so a slow client always receives the newest
+//     frame and never stalls the renderer.
+//
+// Across clients, an EncodeCache keyed by (frameID, codec, quality)
+// makes N viewers at the same operating point cost one encode — the
+// network-data-cache idea of Bethel et al. applied to the encode
+// stage. The Broker ties it together: it speaks the transport
+// package's wire protocol, accepts renderer and display connections,
+// decodes incoming frames once, and runs one adaptive session per
+// display.
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/compress/bzp"
+	"repro/internal/compress/jpegc"
+	"repro/internal/compress/lzo"
+)
+
+// Point is one encode operating point: a codec family plus, for the
+// JPEG-based families, the quality setting. It is the unit the
+// Controller selects and the EncodeCache keys on.
+type Point struct {
+	// Codec is a registered codec family name (raw, lzo, bzip, jpeg,
+	// jpeg+lzo, jpeg+bzip).
+	Codec string
+	// Quality is the JPEG quality in 1..100; ignored by non-JPEG
+	// families.
+	Quality int
+}
+
+// String renders the point for tables and cache keys.
+func (p Point) String() string {
+	if p.Quality > 0 && strings.HasPrefix(p.Codec, "jpeg") {
+		return fmt.Sprintf("%s@q%d", p.Codec, p.Quality)
+	}
+	return p.Codec
+}
+
+// Family returns the codec family name that travels on the wire (the
+// decoder resolves it through the compress registry; JPEG quality is
+// self-describing in the bitstream).
+func (p Point) Family() string { return p.Codec }
+
+// FrameCodec constructs the quality-parameterized codec for the point.
+func (p Point) FrameCodec() (compress.FrameCodec, error) {
+	q := p.Quality
+	switch p.Codec {
+	case "jpeg":
+		return jpegc.Codec{Quality: q}, nil
+	case "jpeg+lzo":
+		return compress.Chain{F: jpegc.Codec{Quality: q}, B: lzo.Codec{}}, nil
+	case "jpeg+bzip":
+		return compress.Chain{F: jpegc.Codec{Quality: q}, B: bzp.Codec{}}, nil
+	}
+	return compress.ByName(p.Codec)
+}
+
+// DefaultLadder returns the broker's operating points, best quality
+// first. The top rung matches the paper's LAN setting (two-phase
+// JPEG+LZO at high quality); the lower rungs trade fidelity for frame
+// rate on links like the RWCP (Japan) to UC Davis path.
+func DefaultLadder() []Point {
+	return []Point{
+		{Codec: "jpeg+lzo", Quality: 85},
+		{Codec: "jpeg+lzo", Quality: 75},
+		{Codec: "jpeg+lzo", Quality: 60},
+		{Codec: "jpeg", Quality: 45},
+		{Codec: "jpeg", Quality: 30},
+		{Codec: "jpeg", Quality: 20},
+		{Codec: "jpeg", Quality: 10},
+		{Codec: "jpeg", Quality: 5},
+	}
+}
+
+// Config parameterizes a Broker.
+type Config struct {
+	// Target is the per-client target inter-frame delay the controller
+	// aims for (default 200ms, i.e. 5 fps).
+	Target time.Duration
+	// Ladder is the ordered set of operating points, best quality
+	// first (default DefaultLadder).
+	Ladder []Point
+	// QueueDepth bounds the per-client pacer queue (default 3).
+	QueueDepth int
+	// CacheFrames bounds the encode cache to this many distinct frame
+	// IDs (default 4).
+	CacheFrames int
+	// DisableCache encodes per client per frame — the baseline the
+	// fan-out cache is measured against.
+	DisableCache bool
+	// FixedPoint, when non-nil, disables adaptation and serves every
+	// client at this operating point — the fixed-quality baseline.
+	FixedPoint *Point
+	// Alpha is the EWMA smoothing factor in (0,1] (default 0.3).
+	Alpha float64
+	// UpHold is how many consecutive picks must favor a better rung
+	// before the controller upgrades (default 3); downgrades are
+	// immediate.
+	UpHold int
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Target <= 0 {
+		c.Target = 200 * time.Millisecond
+	}
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 3
+	}
+	if c.CacheFrames <= 0 {
+		c.CacheFrames = 4
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.UpHold <= 0 {
+		c.UpHold = 3
+	}
+	return c
+}

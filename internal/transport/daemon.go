@@ -17,18 +17,19 @@ import (
 // paper's display daemon "uses an image buffer to cope with faster
 // rendering rates").
 type Daemon struct {
-	ln net.Listener
-
 	mu        sync.Mutex
+	ln        net.Listener
 	renderers map[int]*peer
 	displays  map[int]*peer
 	nextID    int
 	closed    bool
 
-	// BufferFrames is the per-display image buffer depth (default 8).
-	BufferFrames int
-	// Logf receives diagnostics; nil silences them.
-	Logf func(format string, args ...any)
+	// bufferFrames is the per-display image buffer depth; logFn
+	// receives diagnostics. Both are read from per-connection
+	// goroutines, so they live behind mu and are set via
+	// SetBufferFrames / SetLogf.
+	bufferFrames int
+	logFn        func(format string, args ...any)
 
 	stats DaemonStats
 	wg    sync.WaitGroup
@@ -40,6 +41,9 @@ type DaemonStats struct {
 	ImagesDropped   atomic.Int64
 	ControlsRouted  atomic.Int64
 	BytesForwarded  atomic.Int64
+	// AcksReceived counts display receive reports (consumed by the
+	// adaptive stream broker; the plain daemon just counts them).
+	AcksReceived atomic.Int64
 }
 
 type peer struct {
@@ -57,7 +61,7 @@ func NewDaemon(ln net.Listener) *Daemon {
 		ln:           ln,
 		renderers:    map[int]*peer{},
 		displays:     map[int]*peer{},
-		BufferFrames: 8,
+		bufferFrames: 8,
 	}
 }
 
@@ -67,9 +71,31 @@ func (d *Daemon) Addr() net.Addr { return d.ln.Addr() }
 // Stats exposes the daemon counters.
 func (d *Daemon) Stats() *DaemonStats { return &d.stats }
 
+// SetBufferFrames sets the per-display image buffer depth (default 8);
+// safe to call while serving (applies to new connections).
+func (d *Daemon) SetBufferFrames(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	d.bufferFrames = n
+	d.mu.Unlock()
+}
+
+// SetLogf installs a diagnostics sink (nil silences); safe to call
+// while serving.
+func (d *Daemon) SetLogf(f func(format string, args ...any)) {
+	d.mu.Lock()
+	d.logFn = f
+	d.mu.Unlock()
+}
+
 func (d *Daemon) logf(format string, args ...any) {
-	if d.Logf != nil {
-		d.Logf(format, args...)
+	d.mu.Lock()
+	f := d.logFn
+	d.mu.Unlock()
+	if f != nil {
+		f(format, args...)
 	}
 }
 
@@ -87,12 +113,27 @@ func (d *Daemon) Serve() error {
 			}
 			return err
 		}
-		d.wg.Add(1)
-		go func() {
-			defer d.wg.Done()
-			d.handle(conn)
-		}()
+		d.ServeConn(conn)
 	}
+}
+
+// ServeConn runs the handshake and forwarding loop for one
+// pre-established connection on a background goroutine. Tests and
+// experiments use it to wrap individual accepted connections in
+// per-client wan shaping before the daemon writes to them.
+func (d *Daemon) ServeConn(conn net.Conn) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.wg.Add(1)
+	d.mu.Unlock()
+	go func() {
+		defer d.wg.Done()
+		d.handle(conn)
+	}()
 }
 
 // Close stops accepting, disconnects all peers and waits for handler
@@ -132,13 +173,12 @@ func (d *Daemon) handle(conn net.Conn) {
 		d.logf("daemon: unknown role %d", role)
 		return
 	}
-	p := &peer{role: role, conn: conn, out: make(chan Message, 4*d.BufferFrames), done: make(chan struct{})}
-
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return
 	}
+	p := &peer{role: role, conn: conn, out: make(chan Message, 4*d.bufferFrames), done: make(chan struct{})}
 	d.nextID++
 	p.id = d.nextID
 	if role == RoleRenderer {
@@ -206,6 +246,12 @@ func (d *Daemon) handle(conn net.Conn) {
 				continue
 			}
 			d.routeToRenderers(m)
+		case MsgAck:
+			// Display receive reports: the plain daemon has no
+			// adaptive layer to feed, so it just counts them.
+			d.stats.AcksReceived.Add(1)
+		case MsgAdvertise:
+			// Codec advertisements matter to the stream broker only.
 		case MsgBye:
 			return
 		default:

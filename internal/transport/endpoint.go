@@ -16,9 +16,12 @@ type Endpoint struct {
 
 	wmu sync.Mutex
 
-	inbox   chan Message
+	inbox chan Message
+	done  chan struct{}
+	once  sync.Once
+
+	emu     sync.Mutex
 	readErr error
-	once    sync.Once
 }
 
 // Dial connects to the daemon at addr with the given role, optionally
@@ -38,7 +41,7 @@ func Dial(addr string, role Role, wrap func(net.Conn) net.Conn) (*Endpoint, erro
 // announces the role and waits for the daemon's welcome, so a
 // successfully returned endpoint is fully registered.
 func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
-	e := &Endpoint{conn: conn, role: role, inbox: make(chan Message, 64)}
+	e := &Endpoint{conn: conn, role: role, inbox: make(chan Message, 64), done: make(chan struct{})}
 	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: []byte{byte(role)}}); err != nil {
 		conn.Close()
 		return nil, err
@@ -60,17 +63,34 @@ func (e *Endpoint) readLoop() {
 	for {
 		m, err := ReadMessage(e.conn)
 		if err != nil {
+			e.emu.Lock()
 			e.readErr = err
+			e.emu.Unlock()
 			close(e.inbox)
 			return
 		}
-		e.inbox <- m
+		// Selecting on done keeps the loop from blocking forever on a
+		// full inbox nobody drains after Close (goroutine leak).
+		select {
+		case e.inbox <- m:
+		case <-e.done:
+			close(e.inbox)
+			return
+		}
 	}
 }
 
 // Inbox delivers messages from the daemon; it closes when the
 // connection drops.
 func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Err returns the read error that ended the inbox (nil while open or
+// after a clean close).
+func (e *Endpoint) Err() error {
+	e.emu.Lock()
+	defer e.emu.Unlock()
+	return e.readErr
+}
 
 // Send writes a message to the daemon; safe for concurrent use.
 func (e *Endpoint) Send(m Message) error {
@@ -102,6 +122,7 @@ func (e *Endpoint) Close() error {
 	var err error
 	e.once.Do(func() {
 		_ = e.Send(Message{Type: MsgBye})
+		close(e.done)
 		err = e.conn.Close()
 	})
 	return err

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Role identifies an endpoint at handshake.
@@ -45,6 +46,13 @@ const (
 	MsgControl MsgType = 3
 	// MsgBye announces a clean shutdown of the peer.
 	MsgBye MsgType = 4
+	// MsgAck is a display's receive report for one frame: the feedback
+	// signal the adaptive streaming layer uses to estimate RTT.
+	MsgAck MsgType = 5
+	// MsgAdvertise is a renderer's announcement of the codec families
+	// it can produce (comma-separated names); the stream broker
+	// restricts its quality ladder to advertised codecs.
+	MsgAdvertise MsgType = 6
 )
 
 // maxMessage bounds a wire message to keep a corrupt length prefix
@@ -158,6 +166,52 @@ func UnmarshalImage(p []byte) (*ImageMsg, error) {
 		return nil, fmt.Errorf("transport: bad region [%d,%d)x[%d,%d) in %dx%d", m.X0, m.X1, m.Y0, m.Y1, m.W, m.H)
 	}
 	return m, nil
+}
+
+// AckMsg is the payload of MsgAck: the display's receive timestamp for
+// one completed frame. The broker subtracts its own send timestamp to
+// observe the effective round-trip of the feedback loop.
+type AckMsg struct {
+	// FrameID identifies the acknowledged frame.
+	FrameID uint32
+	// RecvUnixNano is the display's clock when the frame completed.
+	RecvUnixNano int64
+	// Bytes is the compressed payload size the display counted.
+	Bytes uint32
+}
+
+// Marshal serializes the ack.
+func (m *AckMsg) Marshal() []byte {
+	out := make([]byte, 16)
+	binary.BigEndian.PutUint32(out, m.FrameID)
+	binary.BigEndian.PutUint64(out[4:], uint64(m.RecvUnixNano))
+	binary.BigEndian.PutUint32(out[12:], m.Bytes)
+	return out
+}
+
+// UnmarshalAck parses an AckMsg payload.
+func UnmarshalAck(p []byte) (*AckMsg, error) {
+	if len(p) < 16 {
+		return nil, ErrTruncated
+	}
+	return &AckMsg{
+		FrameID:      binary.BigEndian.Uint32(p),
+		RecvUnixNano: int64(binary.BigEndian.Uint64(p[4:])),
+		Bytes:        binary.BigEndian.Uint32(p[12:]),
+	}, nil
+}
+
+// MarshalAdvertise serializes a codec-family advertisement.
+func MarshalAdvertise(names []string) []byte {
+	return []byte(strings.Join(names, ","))
+}
+
+// UnmarshalAdvertise parses an advertisement payload.
+func UnmarshalAdvertise(p []byte) []string {
+	if len(p) == 0 {
+		return nil
+	}
+	return strings.Split(string(p), ",")
 }
 
 // ControlMsg is the payload of MsgControl: a tagged message passed

@@ -3,8 +3,12 @@ package transport
 import (
 	"bytes"
 	"fmt"
+	"net"
+	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/wan"
 )
 
 func TestMessageFraming(t *testing.T) {
@@ -246,7 +250,7 @@ func TestDaemonIgnoresWrongDirection(t *testing.T) {
 
 func TestDaemonDropsWhenDisplayStalls(t *testing.T) {
 	d := startDaemon(t)
-	d.BufferFrames = 1
+	d.SetBufferFrames(1)
 	addr := d.Addr().String()
 	// A display that never reads from its socket: fill its daemon
 	// buffer and verify drops are counted rather than the daemon
@@ -336,6 +340,256 @@ func ExampleListenAndServe() {
 	defer d.Close()
 	fmt.Println(d.Addr() != nil)
 	// Output: true
+}
+
+func TestAckMsgRoundTrip(t *testing.T) {
+	m := &AckMsg{FrameID: 99, RecvUnixNano: 1234567890123, Bytes: 4096}
+	got, err := UnmarshalAck(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := UnmarshalAck([]byte{1, 2}); err == nil {
+		t.Fatal("short ack accepted")
+	}
+}
+
+func TestAdvertiseRoundTrip(t *testing.T) {
+	names := []string{"raw", "jpeg", "jpeg+lzo"}
+	got := UnmarshalAdvertise(MarshalAdvertise(names))
+	if len(got) != 3 || got[0] != "raw" || got[2] != "jpeg+lzo" {
+		t.Fatalf("round trip: %v", got)
+	}
+	if UnmarshalAdvertise(nil) != nil {
+		t.Fatal("empty advertisement should be nil")
+	}
+}
+
+// The plain daemon counts display acks and ignores renderer codec
+// advertisements rather than dropping the connections.
+func TestDaemonToleratesAckAndAdvertise(t *testing.T) {
+	d := startDaemon(t)
+	addr := d.Addr().String()
+	rend, err := Dial(addr, RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rend.Close()
+	disp, err := Dial(addr, RoleDisplay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	if err := rend.Send(Message{Type: MsgAdvertise, Payload: MarshalAdvertise([]string{"jpeg"})}); err != nil {
+		t.Fatal(err)
+	}
+	ack := AckMsg{FrameID: 1, RecvUnixNano: 42}
+	if err := disp.Send(Message{Type: MsgAck, Payload: ack.Marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	// Both connections must still forward traffic afterwards.
+	if err := rend.SendImage(&ImageMsg{FrameID: 2, PieceCount: 1, X1: 1, Y1: 1, W: 1, H: 1, Codec: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-disp.Inbox():
+		if m.Type != MsgImage {
+			t.Fatalf("got type %d", m.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("image never arrived after ack/advertise")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Stats().AcksReceived.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.Stats().AcksReceived.Load() != 1 {
+		t.Fatalf("acks = %d", d.Stats().AcksReceived.Load())
+	}
+}
+
+// One display on a stalled WAN-shaped connection must not delay the
+// fast displays: forwarding is per-display buffered with drop-oldest,
+// so the fast viewer sees every frame promptly while the stalled one
+// accumulates drops, never an unbounded backlog.
+func TestDaemonStalledWANViewerDoesNotDelayFastViewer(t *testing.T) {
+	d := startDaemon(t)
+	d.SetBufferFrames(2)
+	addr := d.Addr().String()
+
+	fast, err := Dial(addr, RoleDisplay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+
+	// The stalled viewer: its daemon-side connection is shaped to a
+	// crawling link (1 KB/s), so the daemon's writer goroutine for it
+	// blocks almost immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	stalledConn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSide := <-accepted
+	crawl := wan.Profile{Name: "crawl", Latency: 50 * time.Millisecond, Bandwidth: 1e3, Burst: 512}
+	d.ServeConn(wan.Shape(serverSide, crawl))
+	stalled, err := NewEndpoint(stalledConn, RoleDisplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+
+	rend, err := Dial(addr, RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rend.Close()
+
+	// Drain the fast viewer concurrently, as a real display would.
+	const n = 30
+	gotCh := make(chan int, 1)
+	go func() {
+		got := 0
+		for m := range fast.Inbox() {
+			if m.Type == MsgImage {
+				got++
+				if got == n {
+					break
+				}
+			}
+		}
+		gotCh <- got
+	}()
+
+	payload := make([]byte, 32<<10)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		im := &ImageMsg{FrameID: uint32(i), PieceCount: 1, X1: 100, Y1: 100, W: 100, H: 100, Codec: "raw", Data: payload}
+		if err := rend.SendImage(im); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	sendTime := time.Since(start)
+	// 30 × 32 KB over the 1 KB/s link would take ~16 minutes if the
+	// renderer or the fast path were serialized behind it.
+	if sendTime > 10*time.Second {
+		t.Fatalf("renderer blocked %v behind the stalled viewer", sendTime)
+	}
+
+	select {
+	case got := <-gotCh:
+		if got < n {
+			t.Fatalf("fast viewer received %d/%d frames", got, n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fast viewer starved behind the stalled one")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().ImagesDropped.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d.Stats().ImagesDropped.Load() == 0 {
+		t.Fatal("stalled viewer accumulated no drops — backlog is unbounded")
+	}
+}
+
+// Close must tear down every per-connection goroutine (handler and
+// writer) deterministically — no goroutine leaks.
+func TestDaemonCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	d, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr().String()
+	var eps []*Endpoint
+	for i := 0; i < 3; i++ {
+		e, err := Dial(addr, RoleDisplay, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, e)
+	}
+	rend, err := Dial(addr, RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps = append(eps, rend)
+	for i := 0; i < 5; i++ {
+		if err := rend.SendImage(&ImageMsg{FrameID: uint32(i), PieceCount: 1, X1: 1, Y1: 1, W: 1, H: 1, Codec: "raw"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eps {
+		e.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	nb := runtime.Stack(buf, true)
+	t.Fatalf("goroutines: %d before, %d after close\n%s", before, runtime.NumGoroutine(), buf[:nb])
+}
+
+// ServeConn registers a pre-established connection exactly like an
+// accepted one, and refuses connections after Close.
+func TestDaemonServeConn(t *testing.T) {
+	d := startDaemon(t)
+	a, b := net.Pipe()
+	d.ServeConn(b)
+	disp, err := NewEndpoint(a, RoleDisplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	rend, err := Dial(d.Addr().String(), RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rend.Close()
+	if err := rend.SendImage(&ImageMsg{FrameID: 3, PieceCount: 1, X1: 1, Y1: 1, W: 1, H: 1, Codec: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-disp.Inbox():
+		if m.Type != MsgImage {
+			t.Fatalf("type %d", m.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("piped display got nothing")
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	x, y := net.Pipe()
+	d.ServeConn(y) // must close the conn, not hang
+	x.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := x.Read(make([]byte, 1)); err == nil {
+		t.Fatal("conn served after Close")
+	}
 }
 
 // When the daemon dies mid-stream, connected endpoints observe a

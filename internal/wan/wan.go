@@ -197,6 +197,77 @@ func (c *Conn) Write(b []byte) (int, error) {
 	return written, nil
 }
 
+// take blocks until n tokens accumulate, charging the propagation
+// delay once per idle burst — the read-side counterpart of Write's
+// pacing loop.
+func (bk *bucket) take(n int) {
+	bk.mu.Lock()
+	now := time.Now()
+	if bk.prof.Latency > 0 && now.Sub(bk.lastWrite) > bk.prof.Latency {
+		bk.mu.Unlock()
+		time.Sleep(bk.prof.Latency)
+		bk.mu.Lock()
+	}
+	bk.lastWrite = time.Now()
+	if bk.prof.Bandwidth > 0 {
+		remaining := float64(n)
+		for remaining > 0 {
+			now = time.Now()
+			bk.tokens += now.Sub(bk.last).Seconds() * bk.prof.Bandwidth
+			bk.last = now
+			if bk.tokens > bk.prof.burst() {
+				bk.tokens = bk.prof.burst()
+			}
+			if bk.tokens >= remaining {
+				bk.tokens -= remaining
+				break
+			}
+			remaining -= bk.tokens
+			bk.tokens = 0
+			need := remaining / bk.prof.Bandwidth
+			if max := bk.prof.burst() / bk.prof.Bandwidth; need > max {
+				need = max
+			}
+			bk.mu.Unlock()
+			time.Sleep(time.Duration(need * float64(time.Second)))
+			bk.mu.Lock()
+		}
+	}
+	bk.lastWrite = time.Now()
+	bk.mu.Unlock()
+}
+
+// readConn shapes reads; see ShapeReads.
+type readConn struct {
+	net.Conn
+	bk *bucket
+}
+
+// Read drains the token bucket for every byte delivered.
+func (c *readConn) Read(b []byte) (int, error) {
+	bk := c.bk
+	// Cap each read at the burst so pacing applies per chunk rather
+	// than after one huge buffered read.
+	if max := int(bk.prof.burst()); bk.prof.Bandwidth > 0 && len(b) > max {
+		b = b[:max]
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && (bk.prof.Bandwidth > 0 || bk.prof.Latency > 0) {
+		bk.take(n)
+	}
+	return n, err
+}
+
+// ShapeReads wraps c so its reads are paced to the profile — emulating
+// a slow downlink from the receiving side. Once kernel socket buffers
+// fill, TCP backpressure stalls the remote writer, so the peer
+// observes the modelled bandwidth without cooperating; the display
+// client uses this to join an adaptive daemon over an emulated WAN
+// profile.
+func ShapeReads(c net.Conn, p Profile) net.Conn {
+	return &readConn{Conn: c, bk: newBucket(p)}
+}
+
 // Pipe returns a connected in-memory pair with both directions shaped
 // to the profile — the standard fixture for transport tests.
 func Pipe(p Profile) (client, server net.Conn) {

@@ -175,3 +175,43 @@ func TestSharedLinkContention(t *testing.T) {
 		t.Fatalf("private links contended unexpectedly: %v vs %v", private, single)
 	}
 }
+
+// Shaped reads must take approximately size/bandwidth, whatever the
+// writer does.
+func TestShapeReadsThroughput(t *testing.T) {
+	p := Profile{Bandwidth: 1e6, Burst: 16 << 10} // 1 MB/s
+	a, b := net.Pipe()
+	shaped := ShapeReads(b, p)
+	const N = 100 << 10 // 100 KB -> ~100 ms
+	go func() {
+		buf := make([]byte, N)
+		for sent := 0; sent < N; {
+			n, err := a.Write(buf[sent:])
+			if err != nil {
+				return
+			}
+			sent += n
+		}
+	}()
+	start := time.Now()
+	if _, err := io.CopyN(io.Discard, shaped, N); err != nil {
+		t.Fatal(err)
+	}
+	el := time.Since(start)
+	if el < 60*time.Millisecond || el > 300*time.Millisecond {
+		t.Fatalf("reading 100KB at 1MB/s took %v", el)
+	}
+}
+
+func TestShapeReadsUnshapedPassThrough(t *testing.T) {
+	a, b := net.Pipe()
+	shaped := ShapeReads(b, Profile{})
+	go a.Write(make([]byte, 1<<10))
+	start := time.Now()
+	if _, err := io.CopyN(io.Discard, shaped, 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("unshaped read took %v", el)
+	}
+}
