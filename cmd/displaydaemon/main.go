@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
@@ -32,10 +33,11 @@ func main() {
 	queue := flag.Int("queue", 3, "adaptive: per-client frame queue depth (drop-oldest)")
 	cacheFrames := flag.Int("cache", 4, "adaptive: frames retained in the encode fan-out cache")
 	verbose := flag.Bool("v", false, "log connections and drops")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
 	flag.Parse()
 
 	if *adaptive {
-		runAdaptive(*listen, *target, *queue, *cacheFrames, *verbose)
+		runAdaptive(*listen, *target, *queue, *cacheFrames, *verbose, *debugAddr)
 		return
 	}
 
@@ -49,6 +51,30 @@ func main() {
 		d.SetLogf(log.Printf)
 	}
 	fmt.Printf("display daemon listening on %s\n", d.Addr())
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		d.Instrument(reg)
+		st := d.Stats()
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Registry: reg,
+			Status: func() any {
+				return map[string]any{
+					"mode":             "plain",
+					"images_forwarded": st.ImagesForwarded.Load(),
+					"images_dropped":   st.ImagesDropped.Load(),
+					"bytes_forwarded":  st.BytesForwarded.Load(),
+					"controls_routed":  st.ControlsRouted.Load(),
+					"acks_received":    st.AcksReceived.Load(),
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "displaydaemon:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -60,7 +86,7 @@ func main() {
 	d.Close()
 }
 
-func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, verbose bool) {
+func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, verbose bool, debugAddr string) {
 	cfg := stream.Config{Target: target, QueueDepth: queue, CacheFrames: cacheFrames}
 	if verbose {
 		cfg.Logf = log.Printf
@@ -72,6 +98,26 @@ func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, ve
 	}
 	fmt.Printf("adaptive stream broker listening on %s (target %v, queue %d, cache %d frames)\n",
 		b.Addr(), target, queue, cacheFrames)
+	if debugAddr != "" {
+		reg := obs.NewRegistry()
+		b.Instrument(reg)
+		obs.InstrumentCodecs(reg)
+		tr := obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
+		b.SetTracer(tr)
+		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{
+			Registry: reg,
+			Tracer:   tr,
+			Status: func() any {
+				return map[string]any{"mode": "adaptive", "clients": b.ClientSnapshots()}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "displaydaemon:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -4,9 +4,12 @@
 //	paperbench -exp table1         # one experiment
 //	paperbench -quick              # reduced sizes/links for a fast pass
 //	paperbench -json results.json  # also write machine-readable results
+//	paperbench -exp pipeline -trace out.json
+//	                               # traced pipeline run; open out.json
+//	                               # in a Perfetto/chrome://tracing viewer
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
-// datasets, hybrid, trace, adaptive, all.
+// datasets, hybrid, trace, pipeline, adaptive, all.
 package main
 
 import (
@@ -20,12 +23,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,adaptive,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
 	flag.Parse()
 
 	ctx := experiments.New(os.Stdout, *quick)
+	ctx.TracePath = *tracePath
 	runners := map[string]func() (any, error){
 		"table1":   wrap(ctx.Table1),
 		"table2":   wrap(ctx.Table2),
@@ -38,9 +43,10 @@ func main() {
 		"datasets": wrap(ctx.Datasets),
 		"hybrid":   wrap(ctx.Hybrid),
 		"trace":    wrap(ctx.Trace),
+		"pipeline": wrap(ctx.Pipeline),
 		"adaptive": wrap(ctx.Adaptive),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "adaptive"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive"}
 
 	var todo []string
 	switch *exp {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/tf"
 	"repro/internal/volio"
 	"repro/internal/wan"
@@ -37,6 +38,7 @@ func main() {
 	region := flag.Bool("regioninput", false, "parallel I/O: each node reads its own brick (§7.1)")
 	nodeLinks := flag.Bool("nodelinks", false, "one daemon connection per compressed piece (Figure 2)")
 	accelFlag := flag.Bool("accel", false, "per-brick empty-space skipping (identical images, fewer samples)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
 	flag.Parse()
 
 	store, name, err := openStore(*dataset, *scale, *steps)
@@ -62,9 +64,32 @@ func main() {
 		}
 		opt.Wrap = func(c net.Conn) net.Conn { return wan.Shape(c, prof) }
 	}
+	if *debugAddr != "" {
+		opt.Metrics = obs.NewRegistry()
+		opt.Trace = obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
+		obs.InstrumentCodecs(opt.Metrics)
+	}
 	srv, err := core.NewServer(store, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if *debugAddr != "" {
+		st := srv.Stats()
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Registry: opt.Metrics,
+			Tracer:   opt.Trace,
+			Status: func() any {
+				return map[string]any{
+					"frames_sent": st.FramesSent.Load(),
+					"bytes_sent":  st.BytesSent.Load(),
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 	fmt.Printf("render server: %s %v, P=%d L=%d, %dx%d, codec %s -> %s\n",
 		name, store.Dims(), *p, *l, *size, *size, *codec, *daemon)

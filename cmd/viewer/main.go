@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/display"
+	"repro/internal/obs"
 	"repro/internal/tf"
 	"repro/internal/transport"
 	"repro/internal/wan"
@@ -34,6 +35,7 @@ func main() {
 	stride := flag.Int("stride", 0, "send a preview-mode stride (render every k-th step; 0 = no change)")
 	noack := flag.Bool("noack", false, "do not report frame receive timestamps (disables the adaptive daemon's feedback)")
 	link := flag.String("link", "", "emulate receiving over a WAN profile (nasa-ucd, japan-ucd, lan); pace reads so the daemon sees that downlink")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/status on this address")
 	flag.Parse()
 
 	var wrap func(net.Conn) net.Conn
@@ -51,6 +53,36 @@ func main() {
 	v := display.NewViewer(ep)
 	v.SetAutoAck(!*noack)
 	defer v.Close()
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.InstrumentCodecs(reg)
+		reg.CounterFunc("viewer_frames_total", "Frames displayed.", func() int64 {
+			st := v.Stats()
+			return int64(st.Frames)
+		})
+		reg.CounterFunc("viewer_bytes_total", "Compressed payload bytes received.", func() int64 {
+			st := v.Stats()
+			return st.Bytes
+		})
+		reg.GaugeFunc("viewer_fps", "Average displayed frame rate.", func() float64 {
+			st := v.Stats()
+			return st.FPS()
+		})
+		reg.GaugeFunc("viewer_decode_seconds_total", "Cumulative frame decode time in seconds.", func() float64 {
+			st := v.Stats()
+			return st.DecodeTime.Seconds()
+		})
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
+			Registry: reg,
+			Status:   func() any { return v.Stats() },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
 
 	if *colormap != "" {
 		t, err := tf.Preset(*colormap)

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/img"
 )
@@ -135,6 +136,90 @@ func (c Chain) DecodeFrame(data []byte) (*img.Frame, error) {
 	return c.F.DecodeFrame(inner)
 }
 
+// CodecObservation describes one timed codec call, reported to the
+// package observer: which codec ran, whether it encoded or decoded,
+// the raw and encoded payload sizes, and how long it took.
+type CodecObservation struct {
+	Codec string
+	Op    string // "encode" or "decode"
+	// RawBytes is the uncompressed side (W*H*3); CodedBytes the
+	// compressed side.
+	RawBytes, CodedBytes int
+	Duration             time.Duration
+}
+
+var (
+	codecObsMu sync.RWMutex
+	codecObs   func(CodecObservation)
+)
+
+// SetObserver installs the codec-call observer (nil disables). The
+// observability layer uses it to feed per-codec encode/decode
+// histograms without this package importing it.
+func SetObserver(f func(CodecObservation)) {
+	codecObsMu.Lock()
+	codecObs = f
+	codecObsMu.Unlock()
+}
+
+func observe(o CodecObservation) {
+	codecObsMu.RLock()
+	f := codecObs
+	codecObsMu.RUnlock()
+	if f != nil {
+		f(o)
+	}
+}
+
+// timed wraps a FrameCodec so every call reports to the observer.
+type timed struct{ fc FrameCodec }
+
+// Name implements FrameCodec.
+func (t timed) Name() string { return t.fc.Name() }
+
+// Lossless implements FrameCodec.
+func (t timed) Lossless() bool { return t.fc.Lossless() }
+
+// EncodeFrame implements FrameCodec.
+func (t timed) EncodeFrame(f *img.Frame) ([]byte, error) {
+	t0 := time.Now()
+	data, err := t.fc.EncodeFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	observe(CodecObservation{
+		Codec: t.fc.Name(), Op: "encode",
+		RawBytes: len(f.Pix), CodedBytes: len(data),
+		Duration: time.Since(t0),
+	})
+	return data, nil
+}
+
+// DecodeFrame implements FrameCodec.
+func (t timed) DecodeFrame(data []byte) (*img.Frame, error) {
+	t0 := time.Now()
+	f, err := t.fc.DecodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	observe(CodecObservation{
+		Codec: t.fc.Name(), Op: "decode",
+		RawBytes: len(f.Pix), CodedBytes: len(data),
+		Duration: time.Since(t0),
+	})
+	return f, nil
+}
+
+// Instrument wraps a frame codec so its calls report to the package
+// observer; when no observer is installed the wrapper's overhead is a
+// clock read. Already-instrumented codecs pass through unchanged.
+func Instrument(fc FrameCodec) FrameCodec {
+	if _, ok := fc.(timed); ok {
+		return fc
+	}
+	return timed{fc}
+}
+
 // registry maps codec names to constructors so the display daemon can
 // switch codecs from a control message.
 var (
@@ -150,7 +235,8 @@ func Register(name string, mk func() (FrameCodec, error)) {
 	registry[name] = mk
 }
 
-// ByName constructs the named frame codec.
+// ByName constructs the named frame codec, instrumented so its calls
+// report to the package observer.
 func ByName(name string) (FrameCodec, error) {
 	regMu.RLock()
 	mk, ok := registry[name]
@@ -158,7 +244,11 @@ func ByName(name string) (FrameCodec, error) {
 	if !ok {
 		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
 	}
-	return mk()
+	fc, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	return Instrument(fc), nil
 }
 
 // Names lists the registered codec names, sorted.

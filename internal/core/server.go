@@ -19,6 +19,7 @@ import (
 	// user-control messages.
 	_ "repro/internal/compress/codecs"
 	"repro/internal/control"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/tf"
@@ -68,6 +69,12 @@ type ServerOptions struct {
 	Accel bool
 	// Background is the gray level composited behind the volume.
 	Background float32
+	// Trace, when set, records per-group pipeline stage spans plus the
+	// server's own encode/ship spans (track "server").
+	Trace *obs.Tracer
+	// Metrics, when set, receives pipeline stage histograms and the
+	// server counters (see Server.Instrument).
+	Metrics *obs.Registry
 }
 
 // ServerStats counts server activity.
@@ -157,6 +164,7 @@ func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
 			s.nodeEps = append(s.nodeEps, nep)
 		}
 	}
+	s.Instrument(opt.Metrics)
 	go s.controlLoop()
 	return s, nil
 }
@@ -171,6 +179,28 @@ func (s *Server) endpointFor(i int) *transport.Endpoint {
 
 // Stats exposes the server counters.
 func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Instrument registers the server counters on a metrics registry.
+// Called automatically by NewServer when Options.Metrics is set; safe
+// to call while running.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := &s.stats
+	reg.CounterFunc("server_frames_sent_total",
+		"Frames compressed and shipped to the display daemon.", st.FramesSent.Load)
+	reg.CounterFunc("server_bytes_sent_total",
+		"Compressed frame bytes shipped to the display daemon.", st.BytesSent.Load)
+	reg.GaugeFunc("server_encode_seconds_total",
+		"Cumulative frame compression time in seconds.", func() float64 {
+			return time.Duration(st.EncodeNS.Load()).Seconds()
+		})
+	reg.GaugeFunc("server_render_seconds_total",
+		"Cumulative render+composite time in seconds.", func() float64 {
+			return time.Duration(st.RenderNS.Load()).Seconds()
+		})
+}
 
 // controlLoop ingests remote callbacks from the daemon.
 func (s *Server) controlLoop() {
@@ -247,6 +277,8 @@ func (s *Server) Run() error {
 			EmitPieces:  true,
 			RegionInput: s.opt.RegionInput,
 			Accel:       s.opt.Accel,
+			Trace:       s.opt.Trace,
+			Metrics:     s.opt.Metrics,
 			TFFn: func(step int) *tf.TF {
 				s.mu.Lock()
 				defer s.mu.Unlock()
@@ -286,6 +318,7 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 		return fmt.Errorf("core: server stopped")
 	}
 	s.stats.RenderNS.Add(int64(f.RenderTime + f.CompositeTime))
+	defer s.opt.Trace.Begin("server", "core", "ship", "step", f.Step)()
 	pieces, err := MergePieces(f.Pieces, s.opt.Pieces)
 	if err != nil {
 		return err

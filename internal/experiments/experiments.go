@@ -50,6 +50,11 @@ type Context struct {
 	Quick bool
 	// Out receives printed tables; nil discards them.
 	Out io.Writer
+	// TracePath, when non-empty, makes tracing experiments write
+	// Chrome trace-event JSON here: Pipeline writes its wall-clock
+	// spans to TracePath itself; Trace writes the simulated schedule
+	// to the same path with a ".sim" infix (out.json -> out.sim.json).
+	TracePath string
 
 	mu     sync.Mutex
 	frames map[string]*img.Frame

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/tf"
+	"repro/internal/volio"
+)
+
+// PipelineResult summarizes one traced pipeline run.
+type PipelineResult struct {
+	// P, L, Steps echo the run configuration.
+	P, L, Steps int
+	// Frames is the number of frames delivered.
+	Frames int
+	// Spans is the number of trace spans recorded.
+	Spans int
+	// Stages maps stage name (fetch, render, composite, deliver) to
+	// its per-(group,step) timing summary.
+	Stages map[string]metrics.Summary
+	// TracePath is the Chrome trace file written ("" when tracing is
+	// off).
+	TracePath string
+}
+
+// Pipeline runs the real pipelined renderer on a small jet series with
+// the observability layer attached: per-group stage spans go to the
+// tracer and stage timings to a metrics registry. With TracePath set,
+// the spans are written as Chrome trace-event JSON — load the file in
+// a Chrome/Perfetto trace viewer to see the paper's per-group Gantt
+// (fetch / render / composite / deliver overlapping across groups).
+func (c *Context) Pipeline() (*PipelineResult, error) {
+	p, l, steps, size, scale := 8, 4, 12, 64, 0.2
+	if c.Quick {
+		p, l, steps, size, scale = 4, 2, 6, 48, 0.12
+	}
+	store := volio.NewGenStore(datagen.NewJetScaled(scale, steps))
+	tr := obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
+	reg := obs.NewRegistry()
+	frames := 0
+	m, err := pipeline.Run(store, pipeline.Options{
+		P: p, L: l,
+		ImageW: size, ImageH: size,
+		TF:      tf.Jet(),
+		Trace:   tr,
+		Metrics: reg,
+	}, func(f *pipeline.Frame) error {
+		frames++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PipelineResult{P: p, L: l, Steps: steps, Frames: frames, Spans: tr.Len(), Stages: map[string]metrics.Summary{}}
+	stages := []string{"fetch", "render", "composite", "deliver"}
+	for _, st := range stages {
+		h := reg.Histogram(`pipeline_stage_seconds{stage="`+st+`"}`, "")
+		res.Stages[st] = h.Summary()
+	}
+
+	c.printf("pipeline: P=%d L=%d steps=%d size=%dx%d: %d frames in %v, %d spans\n",
+		p, l, steps, size, size, frames, m.Overall.Round(time.Millisecond), tr.Len())
+	tab := metrics.NewTable("stage", "n", "mean", "p50", "p95", "max")
+	for _, st := range stages {
+		s := res.Stages[st]
+		tab.Rowf("%s %d %.1fms %.1fms %.1fms %.1fms", st, s.N,
+			s.Mean*1e3, s.P50*1e3, s.P95*1e3, s.Max*1e3)
+	}
+	c.printf("%s", tab.String())
+
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		res.TracePath = c.TracePath
+		c.printf("wrote Chrome trace %s (open in a Perfetto/chrome://tracing viewer)\n", c.TracePath)
+	}
+
+	// A quick sanity print of the busiest tracks keeps the experiment
+	// useful without a trace viewer.
+	byTrack := map[string]int{}
+	for _, sp := range tr.Spans() {
+		byTrack[sp.Track]++
+	}
+	tracks := make([]string, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	for _, t := range tracks {
+		c.printf("track %-12s %4d spans\n", t, byTrack[t])
+	}
+	return res, nil
+}

@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wan"
 )
@@ -150,7 +154,33 @@ func (c *Context) Trace() (string, error) {
 	}
 	out := sim.GanttString(r.Trace, 100)
 	c.printf("%s\n", out)
+	if c.TracePath != "" {
+		path := simTracePath(c.TracePath)
+		tr := obs.NewTracer(nil, obs.DefaultTraceCapacity)
+		sim.ExportSpans(tr, r.Trace)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		c.printf("wrote simulated-schedule Chrome trace %s\n", path)
+	}
 	return out, nil
+}
+
+// simTracePath derives the simulated-schedule trace file name from the
+// main trace path: out.json -> out.sim.json.
+func simTracePath(p string) string {
+	if ext := filepath.Ext(p); ext == ".json" {
+		return strings.TrimSuffix(p, ext) + ".sim" + ext
+	}
+	return p + ".sim.json"
 }
 
 // Fig9Row is one bar pair of Figure 9: per-frame render time vs

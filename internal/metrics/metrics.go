@@ -17,10 +17,17 @@ import (
 // Sample accumulates float64 observations.
 type Sample struct {
 	xs []float64
+	// sorted caches a sorted copy of xs for Percentile; dirty marks it
+	// stale after an Add.
+	sorted []float64
+	dirty  bool
 }
 
 // Add appends an observation.
-func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.dirty = true
+}
 
 // AddDuration appends a duration in seconds.
 func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
@@ -82,13 +89,18 @@ func (s *Sample) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by
-// nearest-rank on a sorted copy.
+// nearest-rank on a cached sorted copy, rebuilt only after new
+// observations arrive.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.xs...)
-	sort.Float64s(sorted)
+	if s.dirty || len(s.sorted) != len(s.xs) {
+		s.sorted = append(s.sorted[:0], s.xs...)
+		sort.Float64s(s.sorted)
+		s.dirty = false
+	}
+	sorted := s.sorted
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -100,6 +112,38 @@ func (s *Sample) Percentile(p float64) float64 {
 		rank = 0
 	}
 	return sorted[rank]
+}
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 {
+	var t float64
+	for _, x := range s.xs {
+		t += x
+	}
+	return t
+}
+
+// Summary condenses a sample into the statistics the observability
+// registry exposes for histograms.
+type Summary struct {
+	N                       int
+	Mean, Sum               float64
+	P50, P95, P99, Min, Max float64
+}
+
+// Summary computes n/mean/p50/p95/p99/min/max in one pass over the
+// sorted cache.
+func (s *Sample) Summary() Summary {
+	return Summary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		Sum:  s.Sum(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+		Min:  s.Min(),
+		Max:  s.Max(),
+	}
 }
 
 // Table prints aligned columns, paper-style.
@@ -115,9 +159,38 @@ func NewTable(header ...string) *Table { return &Table{header: header} }
 // precision via Cell helpers where needed.
 func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
 
-// Rowf appends a row of formatted values.
+// Rowf appends a row of formatted values. The format string is split
+// on whitespace into one fragment per cell and each fragment is
+// formatted with the arguments its verbs consume, so a formatted cell
+// may itself contain spaces.
 func (t *Table) Rowf(format string, args ...any) {
-	t.rows = append(t.rows, strings.Fields(fmt.Sprintf(format, args...)))
+	fragments := strings.Fields(format)
+	row := make([]string, 0, len(fragments))
+	for _, frag := range fragments {
+		n := countVerbs(frag)
+		if n > len(args) {
+			n = len(args)
+		}
+		row = append(row, fmt.Sprintf(frag, args[:n]...))
+		args = args[n:]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// countVerbs counts the formatting verbs in a fragment ("%%" escapes
+// excluded).
+func countVerbs(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' {
+			if i+1 < len(s) && s[i+1] == '%' {
+				i++
+				continue
+			}
+			n++
+		}
+	}
+	return n
 }
 
 // Write renders the table.

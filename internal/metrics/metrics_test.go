@@ -50,6 +50,71 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	// New observations must invalidate the sorted cache.
+	s.Add(42)
+	if got := s.Percentile(100); got != 42 {
+		t.Fatalf("p100 after Add = %v (stale cache)", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	// The source order must be preserved (only the cache is sorted).
+	s.Add(0)
+	if s.xs[len(s.xs)-2] != 42 || s.xs[0] != 1 {
+		t.Fatalf("xs reordered: %v", s.xs)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Sample
+	if sum := s.Summary(); sum.N != 0 || sum.Mean != 0 || sum.Max != 0 {
+		t.Fatalf("empty summary = %+v", sum)
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summary()
+	if sum.N != 100 || sum.Mean != 50.5 || sum.Sum != 5050 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P50 != 50 || sum.P95 != 95 || sum.P99 != 99 {
+		t.Fatalf("quantiles = %+v", sum)
+	}
+	if sum.Min != 1 || sum.Max != 100 {
+		t.Fatalf("min/max = %+v", sum)
+	}
+}
+
+func TestRowfCellsWithSpaces(t *testing.T) {
+	tab := NewTable("codec", "size", "note")
+	tab.Rowf("%s %d %s", "jpeg lzo chain", 256, "two phase")
+	tab.Rowf("%s %.2f%% %s", "raw", 99.5, "baseline")
+	out := tab.String()
+	if !strings.Contains(out, "jpeg lzo chain") {
+		t.Fatalf("cell with spaces split:\n%s", out)
+	}
+	if !strings.Contains(out, "two phase") {
+		t.Fatalf("trailing cell with spaces split:\n%s", out)
+	}
+	if !strings.Contains(out, "99.50%") {
+		t.Fatalf("%%%% escape mishandled:\n%s", out)
+	}
+	// Each Rowf row must have exactly one entry per header column.
+	for _, r := range tab.rows {
+		if len(r) != 3 {
+			t.Fatalf("row has %d cells: %q", len(r), r)
+		}
+	}
+}
+
 func TestAddDuration(t *testing.T) {
 	var s Sample
 	s.AddDuration(1500 * time.Millisecond)

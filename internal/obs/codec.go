@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// InstrumentCodecs routes every instrumented codec call (see
+// compress.Instrument / compress.ByName) into per-codec duration
+// histograms and byte counters on the registry:
+//
+//	codec_encode_seconds{codec="jpeg+lzo"}  (summary)
+//	codec_encode_bytes_total{codec="jpeg+lzo"}
+//	codec_ratio{codec="jpeg+lzo"}           (coded/raw, last call)
+//
+// and the decode equivalents. Passing a nil registry uninstalls the
+// observer.
+func InstrumentCodecs(reg *Registry) {
+	if reg == nil {
+		compress.SetObserver(nil)
+		return
+	}
+	compress.SetObserver(func(o compress.CodecObservation) {
+		label := fmt.Sprintf("{codec=%q}", o.Codec)
+		reg.Histogram("codec_"+o.Op+"_seconds"+label,
+			"Per-call codec "+o.Op+" time in seconds.").ObserveDuration(o.Duration)
+		reg.Counter("codec_"+o.Op+"_bytes_total"+label,
+			"Compressed bytes produced/consumed by codec "+o.Op+" calls.").Add(int64(o.CodedBytes))
+		reg.Counter("codec_"+o.Op+"_calls_total"+label,
+			"Codec "+o.Op+" invocations.").Inc()
+		if o.RawBytes > 0 {
+			reg.Gauge("codec_ratio"+label,
+				"Compression ratio (coded/raw) of the most recent codec call.").
+				Set(float64(o.CodedBytes) / float64(o.RawBytes))
+		}
+	})
+}

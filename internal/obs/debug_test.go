@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugServerRoundTrip starts a real debug server and scrapes all
+// three endpoints over HTTP.
+func TestDebugServerRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_total", "Frames.").Add(9)
+	tr := NewTracer(&ManualClock{}, 8)
+	tr.Add(Span{Track: "g", Cat: "c", Name: "work", Start: 0, End: time.Millisecond})
+
+	srv, err := StartDebugServer("127.0.0.1:0", DebugConfig{
+		Registry: reg,
+		Tracer:   tr,
+		Status:   func() any { return map[string]any{"mode": "test"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s", srv.Addr())
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE frames_total counter\nframes_total 9\n") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	body, ctype = get("/debug/status")
+	if ctype != "application/json" {
+		t.Fatalf("status content type = %q", ctype)
+	}
+	var status struct {
+		Metrics map[string]any `json:"metrics"`
+		Status  map[string]any `json:"status"`
+		Trace   map[string]any `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("status not JSON: %v", err)
+	}
+	if status.Metrics["frames_total"] != 9.0 || status.Status["mode"] != "test" || status.Trace["spans"] != 1.0 {
+		t.Fatalf("status = %+v", status)
+	}
+
+	body, _ = get("/debug/trace")
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+}

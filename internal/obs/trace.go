@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one traced interval on a named track.
+type Span struct {
+	// Track groups spans onto one row of the trace viewer (a processor
+	// group, a broker client, the daemon, ...).
+	Track string
+	// Cat is the event category ("pipeline", "broker", "sim", ...).
+	Cat string
+	// Name is the stage name ("fetch", "render", "composite", ...).
+	Name string
+	// Start and End are offsets from the tracer's epoch.
+	Start, End time.Duration
+	// Args are optional key/value annotations shown by the viewer.
+	Args map[string]any
+}
+
+// Tracer records spans into a bounded ring buffer. All methods are
+// safe for concurrent use and safe on a nil receiver, so instrumented
+// code needs no nil checks.
+type Tracer struct {
+	clock Clock
+
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// DefaultTraceCapacity bounds the live trace ring buffer (spans).
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer creates a tracer over the clock retaining up to capacity
+// spans (the oldest are overwritten beyond that). A nil clock defaults
+// to a wall clock epoched at creation; capacity < 1 defaults to
+// DefaultTraceCapacity.
+func NewTracer(clock Clock, capacity int) *Tracer {
+	if clock == nil {
+		clock = WallClock()
+	}
+	if capacity < 1 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{clock: clock, spans: make([]Span, capacity)}
+}
+
+// Now reads the tracer's clock (0 on a nil tracer).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Begin opens a span on track and returns the function that closes
+// it. kv are alternating key/value annotation pairs. Safe on a nil
+// tracer (returns a no-op).
+func (t *Tracer) Begin(track, cat, name string, kv ...any) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := t.clock.Now()
+	return func() {
+		t.Add(Span{Track: track, Cat: cat, Name: name, Start: start, End: t.clock.Now(), Args: kvArgs(kv)})
+	}
+}
+
+// Add records a span with explicit timestamps — the virtual-clock
+// entry point used by the sim exporter. Safe on a nil tracer.
+func (t *Tracer) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.spans[t.next] = s
+	t.next++
+	if t.next == len(t.spans) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.spans)
+	}
+	return t.next
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans snapshots the retained spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]Span(nil), t.spans[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.spans))
+	out = append(out, t.spans[t.next:]...)
+	out = append(out, t.spans[:t.next]...)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format, which Perfetto and
+// chrome://tracing both load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes the retained spans as Chrome trace-event
+// JSON. Tracks become named threads of one process; spans become
+// complete ("X") events sorted by start time within each track.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Spans())
+}
+
+// WriteChrome serializes any span set as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, spans []Span) error {
+	// Stable track -> tid mapping, sorted by name so output is
+	// deterministic regardless of recording interleaving.
+	trackNames := make([]string, 0, 8)
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			trackNames = append(trackNames, s.Track)
+		}
+	}
+	sort.Strings(trackNames)
+	tids := make(map[string]int, len(trackNames))
+	for i, name := range trackNames {
+		tids[name] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+2*len(trackNames)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "repro"},
+	})
+	for _, name := range trackNames {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tids[name],
+			Args: map[string]any{"name": name},
+		})
+		events = append(events, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", PID: 1, TID: tids[name],
+			Args: map[string]any{"sort_index": tids[name]},
+		})
+	}
+
+	ordered := append([]Span(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Track != ordered[j].Track {
+			return tids[ordered[i].Track] < tids[ordered[j].Track]
+		}
+		return ordered[i].Start < ordered[j].Start
+	})
+	for _, s := range ordered {
+		if s.End < s.Start {
+			s.End = s.Start
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   s.Start.Microseconds(),
+			Dur:  s.End.Microseconds() - s.Start.Microseconds(),
+			PID:  1,
+			TID:  tids[s.Track],
+			Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// kvArgs folds alternating key/value pairs into an args map (nil when
+// empty; a trailing odd key is ignored).
+func kvArgs(kv []any) map[string]any {
+	if len(kv) < 2 {
+		return nil
+	}
+	m := make(map[string]any, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[fmt.Sprint(kv[i])] = kv[i+1]
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerBeginEnd(t *testing.T) {
+	clk := &ManualClock{}
+	tr := NewTracer(clk, 16)
+	clk.Set(10 * time.Millisecond)
+	end := tr.Begin("track a", "cat", "work", "step", 3)
+	clk.Set(25 * time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Track != "track a" || s.Name != "work" || s.Start != 10*time.Millisecond || s.End != 25*time.Millisecond {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Args["step"] != 3 {
+		t.Fatalf("args = %v", s.Args)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(&ManualClock{}, 4)
+	for i := 0; i < 6; i++ {
+		tr.Add(Span{Track: "t", Name: "s", Start: time.Duration(i)})
+	}
+	if tr.Len() != 4 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	spans := tr.Spans()
+	if spans[0].Start != 2 || spans[3].Start != 5 {
+		t.Fatalf("oldest retained = %v, newest = %v", spans[0].Start, spans[3].Start)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Begin("t", "c", "n")()
+	tr.Add(Span{})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil || tr.Now() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+// TestWriteChromeValidJSON pins the trace export contract: valid JSON
+// in the Chrome trace-event object format, one named thread per track,
+// complete events with non-negative durations, and start timestamps
+// monotonically non-decreasing within each track.
+func TestWriteChromeValidJSON(t *testing.T) {
+	clk := &ManualClock{}
+	tr := NewTracer(clk, 64)
+	add := func(track, name string, start, end time.Duration) {
+		tr.Add(Span{Track: track, Cat: "test", Name: name, Start: start, End: end})
+	}
+	// Recorded deliberately out of order across tracks.
+	add("group 1", "render", 5*time.Millisecond, 9*time.Millisecond)
+	add("group 0", "fetch", 0, 2*time.Millisecond)
+	add("group 0", "render", 2*time.Millisecond, 6*time.Millisecond)
+	add("group 1", "fetch", 1*time.Millisecond, 5*time.Millisecond)
+	// End before start must clamp, not produce a negative duration.
+	add("group 0", "bogus", 8*time.Millisecond, 7*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	threadNames := map[int]string{}
+	lastTS := map[int]int64{}
+	var complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames[e.TID] = e.Args["name"].(string)
+			}
+		case "X":
+			complete++
+			if e.Dur < 0 {
+				t.Fatalf("negative duration on %q", e.Name)
+			}
+			if prev, ok := lastTS[e.TID]; ok && e.TS < prev {
+				t.Fatalf("track tid=%d not monotonic: %d after %d", e.TID, e.TS, prev)
+			}
+			lastTS[e.TID] = e.TS
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if complete != 5 {
+		t.Fatalf("complete events = %d, want 5", complete)
+	}
+	if threadNames[1] != "group 0" || threadNames[2] != "group 1" {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+}
+
+func TestManualAndWallClock(t *testing.T) {
+	clk := &ManualClock{}
+	clk.Set(time.Second)
+	if clk.Now() != time.Second {
+		t.Fatal("manual clock")
+	}
+	w := WallClock()
+	a := w.Now()
+	if a < 0 {
+		t.Fatal("wall clock went backwards from its epoch")
+	}
+}

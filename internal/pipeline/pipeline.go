@@ -24,6 +24,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/composite"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/tf"
 	"repro/internal/vol"
@@ -90,6 +91,14 @@ type Options struct {
 	// hints to the renderer"). Output is unchanged; sparse data
 	// renders with fewer samples.
 	Accel bool
+	// Trace receives one span per stage (fetch, render, composite,
+	// deliver) per group and step, recorded at the group leader — the
+	// raw material of the paper's pipelining Gantt. Nil disables.
+	Trace *obs.Tracer
+	// Metrics receives stage-duration histograms
+	// (pipeline_stage_seconds{stage=...}) and the §3 metric series
+	// (startup latency, inter-frame delay). Nil disables.
+	Metrics *obs.Registry
 }
 
 func (o *Options) normalize(store volio.Store) error {
@@ -158,6 +167,14 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 		sinkMu sync.Mutex
 		done   = make([]time.Time, opt.Steps)
 	)
+	var fetchH, renderH, compositeH, deliverH *obs.Histogram
+	if opt.Metrics != nil {
+		const help = "Per-(group,step) pipeline stage time in seconds."
+		fetchH = opt.Metrics.Histogram(`pipeline_stage_seconds{stage="fetch"}`, help)
+		renderH = opt.Metrics.Histogram(`pipeline_stage_seconds{stage="render"}`, help)
+		compositeH = opt.Metrics.Histogram(`pipeline_stage_seconds{stage="composite"}`, help)
+		deliverH = opt.Metrics.Histogram(`pipeline_stage_seconds{stage="deliver"}`, help)
+	}
 	start := time.Now()
 
 	err := comm.Run(opt.P, func(c *comm.Comm) error {
@@ -172,13 +189,21 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 		}
 		for s := gid; s < opt.Steps; s += opt.L {
 			if err := renderStep(gc, store, &opt, dims, gid, s, &diskMu, func(f *Frame) error {
+				end := opt.Trace.Begin(groupTrack(f.Group), "pipeline", "deliver", "step", f.Step)
+				t0 := time.Now()
 				sinkMu.Lock()
 				defer sinkMu.Unlock()
 				done[s] = time.Now()
+				var err error
 				if sink != nil {
-					return sink(f)
+					err = sink(f)
 				}
-				return nil
+				end()
+				fetchH.Observe(f.InputTime.Seconds())
+				renderH.Observe(f.RenderTime.Seconds())
+				compositeH.Observe(f.CompositeTime.Seconds())
+				deliverH.ObserveDuration(time.Since(t0))
+				return err
 			}); err != nil {
 				return fmt.Errorf("pipeline: group %d step %d: %w", gid, s, err)
 			}
@@ -208,8 +233,24 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 	if opt.Steps > 1 {
 		m.InterFrameDelay = (m.Overall - m.StartupLatency) / time.Duration(opt.Steps-1)
 	}
+	if opt.Metrics != nil {
+		opt.Metrics.Histogram("pipeline_startup_latency_seconds",
+			"Time until the first frame of a pass completes.").Observe(m.StartupLatency.Seconds())
+		ifd := opt.Metrics.Histogram("pipeline_interframe_delay_seconds",
+			"Delay between consecutive frames in display order.")
+		for s := 1; s < opt.Steps; s++ {
+			ifd.Observe((display[s] - display[s-1]).Seconds())
+		}
+		opt.Metrics.Gauge("pipeline_overall_seconds",
+			"Overall execution time of the most recent pass.").Set(m.Overall.Seconds())
+		opt.Metrics.Counter("pipeline_frames_total",
+			"Frames completed by the pipelined renderer.").Add(int64(opt.Steps))
+	}
 	return m, nil
 }
+
+// groupTrack names a processor group's trace track.
+func groupTrack(gid int) string { return fmt.Sprintf("group %d", gid) }
 
 // tag bases: each (group, step) gets a disjoint tag range so groups
 // sharing the world never cross-talk.
@@ -234,6 +275,18 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 	boxes, err := vol.SplitKD(dims, g)
 	if err != nil {
 		return err
+	}
+
+	// Stage spans are recorded at the group leader: one track per
+	// group, so the trace viewer shows the paper's pipelining Gantt
+	// (input hidden behind the other groups' rendering).
+	leader := gc.Rank() == 0
+	track := groupTrack(gid)
+	span := func(name string) func() {
+		if !leader {
+			return func() {}
+		}
+		return opt.Trace.Begin(track, "pipeline", name, "step", step)
 	}
 
 	var work stepWork
@@ -266,6 +319,7 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 				return fmt.Errorf("unexpected work payload %T", payload)
 			}
 		}
+		endFetch := span("fetch")
 		t0 := time.Now()
 		b, err := fetchBrickRegion(store.(volio.RegionStore), step, boxes[gc.Rank()], opt.Ghost, dims)
 		if err != nil {
@@ -273,6 +327,7 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 		}
 		work.brick = b
 		inputTime = time.Since(t0)
+		endFetch()
 	} else if gc.Rank() == 0 {
 		if opt.BeforeStep != nil {
 			opt.BeforeStep(step)
@@ -290,6 +345,7 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 		}
 		// Data input: fetch through the shared sequential path and
 		// distribute bricks to the group.
+		endFetch := span("fetch")
 		t0 := time.Now()
 		diskMu.Lock()
 		v, err := store.Fetch(step)
@@ -310,6 +366,7 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 		}
 		work = stepWork{brick: b, cam: cam, tf: tfn}
 		inputTime = time.Since(t0)
+		endFetch()
 	} else {
 		payload, _ := gc.Recv(0, tagBase(step, kindData))
 		var ok bool
@@ -320,6 +377,7 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 	}
 	cam := work.cam
 
+	endRender := span("render")
 	t1 := time.Now()
 	ropt := opt.Render
 	if opt.Accel {
@@ -334,7 +392,9 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 		return err
 	}
 	renderTime := time.Since(t1)
+	endRender()
 
+	endComposite := span("composite")
 	t2 := time.Now()
 	var pieces []Piece
 	var assembled *img.RGBA
@@ -372,6 +432,7 @@ func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, g
 		}
 	}
 	compositeTime := time.Since(t2)
+	endComposite()
 
 	f := &Frame{
 		Step:          step,

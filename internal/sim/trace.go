@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // StepTrace records the scheduled interval of every stage of one time
@@ -78,4 +80,27 @@ func GanttString(trace []StepTrace, width int) string {
 		return err.Error()
 	}
 	return b.String()
+}
+
+// ExportSpans converts a simulated schedule into tracer spans on
+// virtual time: each group gets a "sim group N" track carrying its
+// input/render/send stages, plus a zero-width "arrive" marker — the
+// same schedule Gantt draws, but loadable into a Chrome/Perfetto
+// trace viewer alongside wall-clock pipeline spans.
+func ExportSpans(t *obs.Tracer, trace []StepTrace) {
+	for _, s := range trace {
+		track := fmt.Sprintf("sim group %d", s.Group)
+		t.Add(obs.Span{Track: track, Cat: "sim", Name: "input",
+			Start: s.InputStart, End: s.InputEnd,
+			Args: map[string]any{"step": s.Step}})
+		t.Add(obs.Span{Track: track, Cat: "sim", Name: "render",
+			Start: s.RenderStart, End: s.RenderEnd,
+			Args: map[string]any{"step": s.Step}})
+		t.Add(obs.Span{Track: track, Cat: "sim", Name: "send",
+			Start: s.SendStart, End: s.SendEnd,
+			Args: map[string]any{"step": s.Step}})
+		t.Add(obs.Span{Track: track, Cat: "sim", Name: "arrive",
+			Start: s.Arrive, End: s.Arrive,
+			Args: map[string]any{"step": s.Step}})
+	}
 }

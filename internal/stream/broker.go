@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/display"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -41,6 +42,7 @@ type Broker struct {
 	cfg   Config
 	cache *EncodeCache
 	asm   *display.Assembler
+	log   *obs.Logger
 
 	mu         sync.Mutex
 	ln         net.Listener
@@ -49,6 +51,15 @@ type Broker struct {
 	nextID     int
 	closed     bool
 	advertised []string
+
+	// Observability hooks (nil until Instrument/SetTracer): per-stage
+	// histograms and the span tracer. Swapped atomically so the
+	// sender hot path reads them without taking mu.
+	tracer  atomic.Pointer[obs.Tracer]
+	encodeH atomic.Pointer[obs.Histogram]
+	sendH   atomic.Pointer[obs.Histogram]
+	ifdH    atomic.Pointer[obs.Histogram]
+	lastOut atomic.Int64 // unix nanos of the previous frame send
 
 	stats BrokerStats
 	wg    sync.WaitGroup
@@ -99,8 +110,14 @@ func NewBroker(cfg Config) *Broker {
 		cfg:       cfg,
 		cache:     NewEncodeCache(cfg.CacheFrames),
 		asm:       display.NewAssembler(),
+		log:       obs.NewLogger("broker"),
 		clients:   map[int]*client{},
 		renderers: map[int]*rendererPeer{},
+	}
+	if cfg.Logf != nil {
+		// Compatibility shim: Config.Logf routes the leveled component
+		// logger to the caller's printf sink.
+		b.log.SetFunc(cfg.Logf)
 	}
 	return b
 }
@@ -136,10 +153,60 @@ func (b *Broker) Stats() *BrokerStats { return &b.stats }
 // Cache exposes the encode cache (stats: hits, misses, evictions).
 func (b *Broker) Cache() *EncodeCache { return b.cache }
 
-func (b *Broker) logf(format string, args ...any) {
-	if b.cfg.Logf != nil {
-		b.cfg.Logf(format, args...)
+// Logger exposes the broker's component logger.
+func (b *Broker) Logger() *obs.Logger { return b.log }
+
+// SetTracer attaches a span tracer: each client session records
+// pace/encode/send spans on its own "client N" track, and frame
+// ingest records on the "broker" track. Safe to call while serving;
+// nil detaches.
+func (b *Broker) SetTracer(t *obs.Tracer) { b.tracer.Store(t) }
+
+// Instrument registers the broker's counters, encode/send-stage
+// histograms, and a per-client gauge collector on a metrics registry —
+// absorbing BrokerStats, the cache stats and the per-client GaugeSets
+// behind one exposition endpoint. Safe to call while serving.
+func (b *Broker) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
 	}
+	st := &b.stats
+	reg.CounterFunc("broker_pieces_in_total", "Renderer image pieces received.", st.PiecesIn.Load)
+	reg.CounterFunc("broker_frames_in_total", "Complete frames assembled from renderer input.", st.FramesIn.Load)
+	reg.CounterFunc("broker_encodes_total", "Actual encode invocations (cache misses).", st.Encodes.Load)
+	reg.CounterFunc("broker_frames_out_total", "Frames delivered to display clients.", st.FramesOut.Load)
+	reg.CounterFunc("broker_bytes_out_total", "Frame payload bytes delivered to display clients.", st.BytesOut.Load)
+	reg.CounterFunc("broker_drops_total", "Frames discarded by per-client pacers.", st.Drops.Load)
+	reg.CounterFunc("broker_controls_routed_total", "User-control messages relayed to renderers.", st.ControlsRouted.Load)
+	cs := b.cache.Stats()
+	reg.CounterFunc("broker_cache_hits_total", "Encode fan-out cache hits.", cs.Hits.Load)
+	reg.CounterFunc("broker_cache_misses_total", "Encode fan-out cache misses.", cs.Misses.Load)
+	reg.CounterFunc("broker_cache_evictions_total", "Encode fan-out cache evictions.", cs.Evictions.Load)
+	reg.GaugeFunc("broker_clients", "Connected display sessions.", func() float64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return float64(len(b.clients))
+	})
+	b.encodeH.Store(reg.Histogram("broker_encode_seconds",
+		"Per-frame encode (or cache lookup) time in the client sender."))
+	b.sendH.Store(reg.Histogram("broker_send_seconds",
+		"Per-frame socket write time in the client sender."))
+	b.ifdH.Store(reg.Histogram("broker_interframe_delay_seconds",
+		"Delay between consecutive frames sent to any client."))
+	// Per-client sessions come and go; a collector re-emits their
+	// gauge sets with a client label at every scrape.
+	reg.Collect(func(emit obs.Emit) {
+		for _, snap := range b.ClientSnapshots() {
+			label := fmt.Sprintf(`{client="%d"}`, snap.ID)
+			emit("broker_client_frames_sent"+label, "Frames sent to this session.", "counter", float64(snap.FramesSent))
+			emit("broker_client_bytes_sent"+label, "Bytes sent to this session.", "counter", float64(snap.BytesSent))
+			emit("broker_client_drops"+label, "Frames dropped for this session.", "counter", float64(snap.Drops))
+			emit("broker_client_queue_len"+label, "Paced frames queued for this session.", "gauge", float64(snap.QueueLen))
+			for name, v := range snap.Gauges {
+				emit("broker_client_"+name+label, "Per-session gauge bridged from the stream GaugeSet.", "gauge", v)
+			}
+		}
+	})
 }
 
 // Serve accepts connections until the listener closes.
@@ -219,7 +286,7 @@ func (b *Broker) handle(conn net.Conn) {
 	defer conn.Close()
 	hello, err := transport.ReadMessage(conn)
 	if err != nil || hello.Type != transport.MsgHello || len(hello.Payload) < 1 {
-		b.logf("broker: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		b.log.Warnf("bad handshake from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
 	role := transport.Role(hello.Payload[0])
@@ -229,7 +296,7 @@ func (b *Broker) handle(conn net.Conn) {
 	case transport.RoleDisplay:
 		b.handleDisplay(conn)
 	default:
-		b.logf("broker: unknown role %d", role)
+		b.log.Warnf("unknown role %d", role)
 	}
 }
 
@@ -248,12 +315,12 @@ func (b *Broker) handleRenderer(conn net.Conn) {
 		b.mu.Lock()
 		delete(b.renderers, r.id)
 		b.mu.Unlock()
-		b.logf("broker: renderer %d disconnected", r.id)
+		b.log.Infof("renderer %d disconnected", r.id)
 	}()
 	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: []byte{byte(transport.RoleRenderer)}}); err != nil {
 		return
 	}
-	b.logf("broker: renderer %d connected from %v", r.id, conn.RemoteAddr())
+	b.log.Infof("renderer %d connected from %v", r.id, conn.RemoteAddr())
 	for {
 		m, err := transport.ReadMessage(conn)
 		if err != nil {
@@ -286,22 +353,23 @@ func (b *Broker) setAdvertised(families []string) {
 	for _, c := range clients {
 		c.ctrl.Restrict(families)
 	}
-	b.logf("broker: renderer advertises %v", families)
+	b.log.Infof("renderer advertises %v", families)
 }
 
 // ingest decodes one renderer image piece; when it completes a frame,
 // the frame is offered to every client's pacer (never blocking — a
 // full queue drops its oldest frame).
 func (b *Broker) ingest(payload []byte) {
+	defer b.tracer.Load().Begin("broker", "stream", "ingest")()
 	im, err := transport.UnmarshalImage(payload)
 	if err != nil {
-		b.logf("broker: bad image: %v", err)
+		b.log.Warnf("bad image: %v", err)
 		return
 	}
 	b.stats.PiecesIn.Add(1)
 	fr, err := b.asm.Ingest(im)
 	if err != nil {
-		b.logf("broker: decode frame %d: %v", im.FrameID, err)
+		b.log.Warnf("decode frame %d: %v", im.FrameID, err)
 		return
 	}
 	if fr == nil {
@@ -354,12 +422,12 @@ func (b *Broker) handleDisplay(conn net.Conn) {
 		delete(b.clients, c.id)
 		b.mu.Unlock()
 		c.pacer.Close()
-		b.logf("broker: display %d disconnected", c.id)
+		b.log.Infof("display %d disconnected", c.id)
 	}()
 	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: []byte{byte(transport.RoleDisplay)}}); err != nil {
 		return
 	}
-	b.logf("broker: display %d connected from %v", c.id, c.remote)
+	b.log.Infof("display %d connected from %v", c.id, c.remote)
 
 	b.wg.Add(1)
 	go func() {
@@ -424,8 +492,14 @@ func (b *Broker) routeToRenderers(m transport.Message) {
 // operating point → encode-once-per-point via the cache → timed write
 // feeding the bandwidth estimator.
 func (b *Broker) sender(c *client) {
+	track := fmt.Sprintf("client %d", c.id)
 	for {
+		// The tracer is re-loaded each frame so SetTracer can attach
+		// or detach while the session runs.
+		tr := b.tracer.Load()
+		endWait := tr.Begin(track, "stream", "wait")
 		sf, ok := c.pacer.Next()
+		endWait()
 		if !ok {
 			return
 		}
@@ -443,13 +517,17 @@ func (b *Broker) sender(c *client) {
 		}
 		var data []byte
 		var err error
+		encStart := time.Now()
+		endEncode := tr.Begin(track, "stream", "encode", "frame", sf.ID, "point", point.String())
 		if b.cfg.DisableCache {
 			data, err = encode()
 		} else {
 			data, err = b.cache.GetOrEncode(sf.ID, point, encode)
 		}
+		endEncode()
+		b.encodeH.Load().ObserveDuration(time.Since(encStart))
 		if err != nil {
-			b.logf("broker: encode frame %d at %s: %v", sf.ID, point, err)
+			b.log.Warnf("encode frame %d at %s: %v", sf.ID, point, err)
 			continue
 		}
 		c.ctrl.ObserveSize(point, len(data))
@@ -463,7 +541,7 @@ func (b *Broker) sender(c *client) {
 		}
 		payload, err := im.Marshal()
 		if err != nil {
-			b.logf("broker: marshal frame %d: %v", sf.ID, err)
+			b.log.Warnf("marshal frame %d: %v", sf.ID, err)
 			continue
 		}
 		c.sentMu.Lock()
@@ -479,11 +557,19 @@ func (b *Broker) sender(c *client) {
 		}
 		c.sentMu.Unlock()
 		t0 := time.Now()
+		endSend := tr.Begin(track, "stream", "send", "frame", sf.ID, "bytes", len(payload))
 		if err := transport.WriteMessage(c.conn, transport.Message{Type: transport.MsgImage, Payload: payload}); err != nil {
+			endSend()
 			c.conn.Close()
 			return
 		}
+		endSend()
 		sendTime := time.Since(t0)
+		b.sendH.Load().ObserveDuration(sendTime)
+		now := time.Now().UnixNano()
+		if prev := b.lastOut.Swap(now); prev != 0 {
+			b.ifdH.Load().ObserveDuration(time.Duration(now - prev))
+		}
 		c.est.Observe(len(payload), sendTime)
 		c.framesSent.Add(1)
 		c.bytesSent.Add(int64(len(payload)))

@@ -65,11 +65,11 @@ func (p Point) FrameCodec() (compress.FrameCodec, error) {
 	q := p.Quality
 	switch p.Codec {
 	case "jpeg":
-		return jpegc.Codec{Quality: q}, nil
+		return compress.Instrument(jpegc.Codec{Quality: q}), nil
 	case "jpeg+lzo":
-		return compress.Chain{F: jpegc.Codec{Quality: q}, B: lzo.Codec{}}, nil
+		return compress.Instrument(compress.Chain{F: jpegc.Codec{Quality: q}, B: lzo.Codec{}}), nil
 	case "jpeg+bzip":
-		return compress.Chain{F: jpegc.Codec{Quality: q}, B: bzp.Codec{}}, nil
+		return compress.Instrument(compress.Chain{F: jpegc.Codec{Quality: q}, B: bzp.Codec{}}), nil
 	}
 	return compress.ByName(p.Codec)
 }
@@ -116,7 +116,9 @@ type Config struct {
 	// before the controller upgrades (default 3); downgrades are
 	// immediate.
 	UpHold int
-	// Logf receives diagnostics; nil silences them.
+	// Logf receives diagnostics; nil silences them. It is a
+	// compatibility shim over the broker's leveled obs.Logger — see
+	// Broker.Logger for level control.
 	Logf func(format string, args ...any)
 }
 

@@ -6,6 +6,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Daemon is the display daemon: it accepts any number of renderer and
@@ -24,13 +27,18 @@ type Daemon struct {
 	nextID    int
 	closed    bool
 
-	// bufferFrames is the per-display image buffer depth; logFn
-	// receives diagnostics. Both are read from per-connection
-	// goroutines, so they live behind mu and are set via
-	// SetBufferFrames / SetLogf.
+	// bufferFrames is the per-display image buffer depth, read from
+	// per-connection goroutines, so it lives behind mu and is set via
+	// SetBufferFrames.
 	bufferFrames int
-	logFn        func(format string, args ...any)
 
+	// ifd observes the delay between consecutive forwarded frames
+	// when the daemon is instrumented (nil otherwise); lastForward is
+	// the previous forward time. Both behind mu.
+	ifd         *obs.Histogram
+	lastForward time.Time
+
+	log   *obs.Logger
 	stats DaemonStats
 	wg    sync.WaitGroup
 }
@@ -62,6 +70,7 @@ func NewDaemon(ln net.Listener) *Daemon {
 		renderers:    map[int]*peer{},
 		displays:     map[int]*peer{},
 		bufferFrames: 8,
+		log:          obs.NewLogger("daemon"),
 	}
 }
 
@@ -83,20 +92,50 @@ func (d *Daemon) SetBufferFrames(n int) {
 }
 
 // SetLogf installs a diagnostics sink (nil silences); safe to call
-// while serving.
+// while serving. It is a compatibility shim over the daemon's leveled
+// obs.Logger — see Logger for level control.
 func (d *Daemon) SetLogf(f func(format string, args ...any)) {
-	d.mu.Lock()
-	d.logFn = f
-	d.mu.Unlock()
+	d.log.SetFunc(f)
 }
 
-func (d *Daemon) logf(format string, args ...any) {
-	d.mu.Lock()
-	f := d.logFn
-	d.mu.Unlock()
-	if f != nil {
-		f(format, args...)
+// Logger exposes the daemon's component logger.
+func (d *Daemon) Logger() *obs.Logger { return d.log }
+
+// Instrument registers the daemon's counters on a metrics registry
+// and starts observing the delay between consecutive forwarded frames
+// into a daemon_interframe_delay_seconds histogram. Safe to call while
+// serving.
+func (d *Daemon) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
 	}
+	st := &d.stats
+	reg.CounterFunc("daemon_images_forwarded_total",
+		"Image messages forwarded from renderers to displays.", st.ImagesForwarded.Load)
+	reg.CounterFunc("daemon_images_dropped_total",
+		"Image messages dropped by full per-display buffers.", st.ImagesDropped.Load)
+	reg.CounterFunc("daemon_bytes_forwarded_total",
+		"Image payload bytes forwarded to displays.", st.BytesForwarded.Load)
+	reg.CounterFunc("daemon_controls_routed_total",
+		"User-control messages routed back to renderers.", st.ControlsRouted.Load)
+	reg.CounterFunc("daemon_acks_received_total",
+		"Display receive reports counted.", st.AcksReceived.Load)
+	reg.GaugeFunc("daemon_displays", "Connected display clients.", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.displays))
+	})
+	reg.GaugeFunc("daemon_renderers", "Connected renderer peers.", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.renderers))
+	})
+	ifd := reg.Histogram("daemon_interframe_delay_seconds",
+		"Delay between consecutive frames forwarded to displays.")
+	d.mu.Lock()
+	d.ifd = ifd
+	d.lastForward = time.Time{}
+	d.mu.Unlock()
 }
 
 // Serve accepts connections until the listener closes. Run it on its
@@ -165,12 +204,12 @@ func (d *Daemon) handle(conn net.Conn) {
 	defer conn.Close()
 	hello, err := ReadMessage(conn)
 	if err != nil || hello.Type != MsgHello || len(hello.Payload) < 1 {
-		d.logf("daemon: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		d.log.Warnf("bad handshake from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
 	role := Role(hello.Payload[0])
 	if role != RoleRenderer && role != RoleDisplay {
-		d.logf("daemon: unknown role %d", role)
+		d.log.Warnf("unknown role %d", role)
 		return
 	}
 	d.mu.Lock()
@@ -187,7 +226,7 @@ func (d *Daemon) handle(conn net.Conn) {
 		d.displays[p.id] = p
 	}
 	d.mu.Unlock()
-	d.logf("daemon: %s %d connected from %v", role, p.id, conn.RemoteAddr())
+	d.log.Infof("%s %d connected from %v", role, p.id, conn.RemoteAddr())
 
 	// Welcome ack: the peer's Dial blocks until registration is
 	// complete, so frames sent right after connecting cannot race past
@@ -207,7 +246,7 @@ func (d *Daemon) handle(conn net.Conn) {
 		delete(d.displays, p.id)
 		d.mu.Unlock()
 		close(p.done)
-		d.logf("daemon: %s %d disconnected", role, p.id)
+		d.log.Infof("%s %d disconnected", role, p.id)
 	}()
 
 	// Writer drains the outbound queue.
@@ -230,19 +269,19 @@ func (d *Daemon) handle(conn net.Conn) {
 	for {
 		m, err := ReadMessage(conn)
 		if err != nil {
-			d.logf("daemon: read from %s %d: %v", role, p.id, err)
+			d.log.Infof("read from %s %d: %v", role, p.id, err)
 			return
 		}
 		switch m.Type {
 		case MsgImage:
 			if role != RoleRenderer {
-				d.logf("daemon: image from display %d ignored", p.id)
+				d.log.Warnf("image from display %d ignored", p.id)
 				continue
 			}
 			d.forwardToDisplays(m)
 		case MsgControl:
 			if role != RoleDisplay {
-				d.logf("daemon: control from renderer %d ignored", p.id)
+				d.log.Warnf("control from renderer %d ignored", p.id)
 				continue
 			}
 			d.routeToRenderers(m)
@@ -255,7 +294,7 @@ func (d *Daemon) handle(conn net.Conn) {
 		case MsgBye:
 			return
 		default:
-			d.logf("daemon: unknown message type %d from %s %d", m.Type, role, p.id)
+			d.log.Warnf("unknown message type %d from %s %d", m.Type, role, p.id)
 		}
 	}
 }
@@ -267,6 +306,14 @@ func (d *Daemon) forwardToDisplays(m Message) {
 	targets := make([]*peer, 0, len(d.displays))
 	for _, p := range d.displays {
 		targets = append(targets, p)
+	}
+	ifd := d.ifd
+	if ifd != nil {
+		now := time.Now()
+		if !d.lastForward.IsZero() {
+			ifd.ObserveDuration(now.Sub(d.lastForward))
+		}
+		d.lastForward = now
 	}
 	d.mu.Unlock()
 	for _, p := range targets {

@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDaemonInstrument pins the metrics bridge: after forwarding real
+// frames, the registry's Prometheus exposition carries the forwarded
+// counter and the inter-frame delay histogram.
+func TestDaemonInstrument(t *testing.T) {
+	d := startDaemon(t)
+	reg := obs.NewRegistry()
+	d.Instrument(reg)
+	addr := d.Addr().String()
+
+	disp, err := Dial(addr, RoleDisplay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	rend, err := Dial(addr, RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rend.Close()
+
+	const n = 3
+	for i := 0; i < n; i++ {
+		im := &ImageMsg{FrameID: uint32(i), PieceCount: 1, X1: 8, Y1: 8, W: 8, H: 8, Codec: "raw", Data: []byte{1, 2}}
+		if err := rend.SendImage(im); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-disp.Inbox():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["daemon_images_forwarded_total"]; got != float64(n) {
+		t.Fatalf("daemon_images_forwarded_total = %v, want %d", got, n)
+	}
+	if got := snap["daemon_displays"]; got != 1.0 {
+		t.Fatalf("daemon_displays = %v, want 1", got)
+	}
+	if got := snap["daemon_interframe_delay_seconds_count"]; got != float64(n-1) {
+		t.Fatalf("interframe delay count = %v, want %d", got, n-1)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	for _, want := range []string{
+		"# TYPE daemon_images_forwarded_total counter",
+		"# TYPE daemon_interframe_delay_seconds summary",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
