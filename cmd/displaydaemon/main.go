@@ -28,6 +28,8 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7420", "listen address")
 	buffer := flag.Int("buffer", 8, "per-display image buffer depth (plain mode)")
+	heartbeat := flag.Duration("heartbeat", 0, "ping CRC-capable peers on this interval and evict after -peer-timeout of silence (plain mode, 0 = off)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "silence threshold for evicting a dead peer (0 = 3x -heartbeat)")
 	adaptive := flag.Bool("adaptive", false, "run the adaptive stream broker (per-client rate control)")
 	target := flag.Duration("target", 200*time.Millisecond, "adaptive: target inter-frame delay per client")
 	queue := flag.Int("queue", 3, "adaptive: per-client frame queue depth (drop-oldest)")
@@ -47,6 +49,9 @@ func main() {
 		os.Exit(1)
 	}
 	d.SetBufferFrames(*buffer)
+	if *heartbeat > 0 {
+		d.SetHeartbeat(*heartbeat, *peerTimeout)
+	}
 	if *verbose {
 		d.SetLogf(log.Printf)
 	}
@@ -65,6 +70,9 @@ func main() {
 					"bytes_forwarded":  st.BytesForwarded.Load(),
 					"controls_routed":  st.ControlsRouted.Load(),
 					"acks_received":    st.AcksReceived.Load(),
+					"corrupt_dropped":  st.CorruptDropped.Load(),
+					"peers_evicted":    st.PeersEvicted.Load(),
+					"peers":            d.Health(),
 				}
 			},
 		})
@@ -83,6 +91,12 @@ func main() {
 	fmt.Printf("\nforwarded %d images (%d bytes), dropped %d, routed %d controls, %d acks\n",
 		st.ImagesForwarded.Load(), st.BytesForwarded.Load(),
 		st.ImagesDropped.Load(), st.ControlsRouted.Load(), st.AcksReceived.Load())
+	if n := st.CorruptDropped.Load(); n > 0 {
+		fmt.Printf("dropped %d corrupt messages (wire CRC)\n", n)
+	}
+	if n := st.PeersEvicted.Load(); n > 0 {
+		fmt.Printf("evicted %d dead peers (heartbeat)\n", n)
+	}
 	d.Close()
 }
 

@@ -9,7 +9,7 @@
 //	                               # in a Perfetto/chrome://tracing viewer
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
-// datasets, hybrid, trace, pipeline, adaptive, all.
+// datasets, hybrid, trace, pipeline, adaptive, faults, all.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
@@ -45,8 +45,9 @@ func main() {
 		"trace":    wrap(ctx.Trace),
 		"pipeline": wrap(ctx.Pipeline),
 		"adaptive": wrap(ctx.Adaptive),
+		"faults":   wrap(ctx.Faults),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults"}
 
 	var todo []string
 	switch *exp {

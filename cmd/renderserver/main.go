@@ -19,6 +19,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/obs"
 	"repro/internal/tf"
+	"repro/internal/transport"
 	"repro/internal/volio"
 	"repro/internal/wan"
 )
@@ -38,6 +39,8 @@ func main() {
 	region := flag.Bool("regioninput", false, "parallel I/O: each node reads its own brick (§7.1)")
 	nodeLinks := flag.Bool("nodelinks", false, "one daemon connection per compressed piece (Figure 2)")
 	accelFlag := flag.Bool("accel", false, "per-brick empty-space skipping (identical images, fewer samples)")
+	reconnect := flag.Bool("reconnect", false, "survive daemon restarts: auto-redial with exponential backoff, dropping frames while the link is down")
+	heartbeat := flag.Duration("heartbeat", 0, "with -reconnect: ping the daemon on this interval and redial after 3x of inbound silence (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
 	flag.Parse()
 
@@ -56,6 +59,11 @@ func main() {
 		Codec: *codec, Pieces: *pieces,
 		TF: tfn, Steps: *steps, Loop: *loop,
 		RegionInput: *region, NodeLinks: *nodeLinks, Accel: *accelFlag,
+	}
+	if *reconnect {
+		rp := transport.DefaultRetry()
+		opt.Reconnect = &rp
+		opt.Heartbeat = *heartbeat
 	}
 	if *link != "" {
 		prof, err := wan.ByName(*link)
@@ -79,10 +87,15 @@ func main() {
 			Registry: opt.Metrics,
 			Tracer:   opt.Trace,
 			Status: func() any {
-				return map[string]any{
+				status := map[string]any{
 					"frames_sent": st.FramesSent.Load(),
 					"bytes_sent":  st.BytesSent.Load(),
 				}
+				if *reconnect {
+					status["frames_dropped"] = st.FramesDropped.Load()
+					status["link"] = srv.LinkState()
+				}
+				return status
 			},
 		})
 		if err != nil {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"path/filepath"
@@ -34,6 +35,8 @@ func main() {
 	distance := flag.Float64("distance", 0, "view distance (x volume diagonal); 0 = no view change")
 	stride := flag.Int("stride", 0, "send a preview-mode stride (render every k-th step; 0 = no change)")
 	noack := flag.Bool("noack", false, "do not report frame receive timestamps (disables the adaptive daemon's feedback)")
+	reconnect := flag.Bool("reconnect", false, "survive daemon restarts: auto-redial with exponential backoff and resume the frame stream")
+	heartbeat := flag.Duration("heartbeat", 0, "with -reconnect: ping the daemon on this interval and redial after 3x of inbound silence (0 = off)")
 	link := flag.String("link", "", "emulate receiving over a WAN profile (nasa-ucd, japan-ucd, lan); pace reads so the daemon sees that downlink")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/status on this address")
 	flag.Parse()
@@ -46,9 +49,28 @@ func main() {
 		}
 		wrap = func(c net.Conn) net.Conn { return wan.ShapeReads(c, prof) }
 	}
-	ep, err := transport.Dial(*daemon, transport.RoleDisplay, wrap)
-	if err != nil {
-		fatal(err)
+	var ep transport.Link
+	var sess *transport.Session
+	if *reconnect {
+		var err error
+		sess, err = transport.NewSession(transport.SessionConfig{
+			Role:      transport.RoleDisplay,
+			Addr:      *daemon,
+			Wrap:      wrap,
+			Retry:     transport.DefaultRetry(),
+			Heartbeat: *heartbeat,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ep = sess
+	} else {
+		e, err := transport.Dial(*daemon, transport.RoleDisplay, wrap)
+		if err != nil {
+			fatal(err)
+		}
+		ep = e
 	}
 	v := display.NewViewer(ep)
 	v.SetAutoAck(!*noack)
@@ -75,7 +97,12 @@ func main() {
 		})
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
 			Registry: reg,
-			Status:   func() any { return v.Stats() },
+			Status: func() any {
+				if sess != nil {
+					return map[string]any{"viewer": v.Stats(), "link": sess.State()}
+				}
+				return v.Stats()
+			},
 		})
 		if err != nil {
 			fatal(err)

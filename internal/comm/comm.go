@@ -8,6 +8,13 @@
 // Message payloads transfer ownership: the sender must not touch a
 // payload after Send. Byte volume is tracked per world for the
 // calibration measurements the discrete-event simulator consumes.
+//
+// Failure model: a rank can be marked failed (FailSelf / MarkFailed),
+// and receives can carry a deadline (RunConfig.RecvTimeout). Either
+// way, a rank blocked on a dead peer is woken and fails with a typed
+// panic that AsFailure converts to ErrRankFailed or ErrRecvTimeout —
+// node failure surfaces as an error event at the waiting rank instead
+// of a hang, which is what lets the pipeline degrade gracefully.
 package comm
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // AnyTag matches any message tag in Recv.
@@ -24,8 +32,39 @@ const AnyTag = -1
 // world is aborted because another rank failed.
 var ErrAborted = errors.New("comm: world aborted")
 
+// ErrRankFailed is observed (via AsFailure) by ranks blocked on a peer
+// that was marked failed.
+var ErrRankFailed = errors.New("comm: peer rank failed")
+
+// ErrRecvTimeout is observed (via AsFailure) when a receive outlives
+// the world's RecvTimeout — the comm-level dead-peer detector.
+var ErrRecvTimeout = errors.New("comm: receive timed out")
+
 // abortPanic is the sentinel recovered by Run's rank wrappers.
 type abortPanic struct{}
+
+// failPanic aborts one wait on one dead peer; unlike abortPanic it is
+// scoped to the waiting rank, so the rest of the world keeps running.
+type failPanic struct {
+	rank    int // world rank of the dead peer
+	timeout bool
+}
+
+// AsFailure converts a panic value recovered from a comm wait into its
+// error (nil when the value is not a comm failure). Callers that want
+// per-group degradation wrap comm-using code, recover, and pass the
+// value here; a non-nil result means "the peer died, this rank is
+// fine". World aborts (abortPanic) are not converted — re-panic those
+// so Run's wrapper accounts for them.
+func AsFailure(rec any) error {
+	if p, ok := rec.(failPanic); ok {
+		if p.timeout {
+			return fmt.Errorf("comm: waiting on world rank %d: %w", p.rank, ErrRecvTimeout)
+		}
+		return fmt.Errorf("comm: world rank %d: %w", p.rank, ErrRankFailed)
+	}
+	return nil
+}
 
 // message is one in-flight payload.
 type message struct {
@@ -36,14 +75,15 @@ type message struct {
 
 // mailbox carries messages from one specific sender to one receiver.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []message
-	aborted *atomic.Bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+	world *World
+	src   int // world rank of the sender
 }
 
-func newMailbox(aborted *atomic.Bool) *mailbox {
-	m := &mailbox{aborted: aborted}
+func newMailbox(w *World, src int) *mailbox {
+	m := &mailbox{world: w, src: src}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -57,13 +97,28 @@ func (m *mailbox) put(msg message) {
 
 // take blocks until a message with the given tag (or any, if
 // tag==AnyTag) is present and removes it, preserving FIFO order per
-// tag. If the world aborts while waiting, take panics with the abort
-// sentinel (recovered by Run).
+// tag. If the world aborts, the sender is marked failed, or the
+// world's RecvTimeout elapses while waiting, take panics with the
+// matching sentinel (recovered by Run, or converted by AsFailure).
+// Queued messages are scanned before the failure checks, so data a
+// peer sent before dying still delivers.
 func (m *mailbox) take(tag int) message {
+	var deadline time.Time
+	if d := m.world.recvTimeout; d > 0 {
+		deadline = time.Now().Add(d)
+		// The waker makes cond.Wait observe the deadline; without it a
+		// receive on a silent peer would sleep forever.
+		t := time.AfterFunc(d, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer t.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if m.aborted.Load() {
+		if m.world.aborted.Load() {
 			panic(abortPanic{})
 		}
 		for i, msg := range m.queue {
@@ -71,6 +126,12 @@ func (m *mailbox) take(tag int) message {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
 				return msg
 			}
+		}
+		if m.world.failed[m.src].Load() {
+			panic(failPanic{rank: m.src})
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			panic(failPanic{rank: m.src, timeout: true})
 		}
 		m.cond.Wait()
 	}
@@ -84,6 +145,11 @@ type World struct {
 
 	barrier *barrier
 	aborted atomic.Bool
+	// failed[r] marks world rank r dead; waits on it fail fast.
+	failed []atomic.Bool
+	// recvTimeout bounds every Recv (0 = wait forever). Set before the
+	// rank goroutines start (RunWith / SetRecvTimeout).
+	recvTimeout time.Duration
 
 	gbMu  sync.Mutex
 	gbars map[string]*barrier
@@ -101,22 +167,64 @@ func NewWorld(p int) (*World, error) {
 		return nil, fmt.Errorf("comm: world size %d < 1", p)
 	}
 	w := &World{size: p}
-	w.barrier = newBarrier(p, &w.aborted)
+	w.failed = make([]atomic.Bool, p)
+	w.barrier = newBarrier(w, allRanks(p))
 	w.bytesRecvBy = make([]atomic.Int64, p)
 	w.boxes = make([][]*mailbox, p)
 	for dst := range w.boxes {
 		w.boxes[dst] = make([]*mailbox, p)
 		for src := range w.boxes[dst] {
-			w.boxes[dst][src] = newMailbox(&w.aborted)
+			w.boxes[dst][src] = newMailbox(w, src)
 		}
 	}
 	return w, nil
 }
 
+func allRanks(p int) []int {
+	ranks := make([]int, p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranks
+}
+
+// SetRecvTimeout bounds every receive in the world; a rank waiting
+// longer observes ErrRecvTimeout. Call before the rank goroutines
+// start (RunWith does this for you).
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
 // Abort wakes every rank blocked in Recv or Barrier; they observe
 // ErrAborted. Called automatically by Run when a rank fails.
 func (w *World) Abort() {
 	w.aborted.Store(true)
+	w.wakeAll()
+}
+
+// MarkFailed declares one world rank dead: every rank blocked (now or
+// later) receiving from it or sharing a barrier with it fails with
+// ErrRankFailed instead of hanging. Idempotent; scoped — ranks not
+// waiting on the dead one are untouched.
+func (w *World) MarkFailed(rank int) {
+	if rank < 0 || rank >= w.size {
+		return
+	}
+	if w.failed[rank].Swap(true) {
+		return
+	}
+	w.wakeAll()
+}
+
+// Failed reports whether a world rank has been marked failed.
+func (w *World) Failed(rank int) bool {
+	if rank < 0 || rank >= w.size {
+		return false
+	}
+	return w.failed[rank].Load()
+}
+
+// wakeAll broadcasts every wait point so blocked ranks re-check the
+// abort/failed flags.
+func (w *World) wakeAll() {
 	for _, row := range w.boxes {
 		for _, mb := range row {
 			mb.mu.Lock()
@@ -167,6 +275,11 @@ func (c *Comm) Size() int { return len(c.ranks) }
 
 // World returns the underlying world.
 func (c *Comm) World() *World { return c.world }
+
+// FailSelf marks this rank's world rank failed — the cooperative
+// "this node crashed" signal. Peers blocked on it wake with
+// ErrRankFailed; the failing rank should stop using the communicator.
+func (c *Comm) FailSelf() { c.world.MarkFailed(c.ranks[c.rank]) }
 
 // Send delivers payload with tag to local rank dst. nbytes is the
 // accounted payload size (for traffic statistics); pass 0 when the
@@ -230,24 +343,45 @@ func (c *Comm) Group(members []int) (*Comm, error) {
 	return &Comm{world: c.world, rank: idx, ranks: ranks, bar: c.world.groupBarrier(ranks)}, nil
 }
 
-// barrier is a reusable counting barrier.
+// barrier is a reusable counting barrier over a set of world ranks.
 type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	count   int
-	gen     int
-	aborted *atomic.Bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+	world *World
+	ranks []int // member world ranks (for failed-member detection)
 }
 
-func newBarrier(n int, aborted *atomic.Bool) *barrier {
-	b := &barrier{n: n, aborted: aborted}
+func newBarrier(w *World, ranks []int) *barrier {
+	b := &barrier{n: len(ranks), world: w, ranks: ranks}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
+// failedRank returns a failed member's world rank, or -1.
+func (b *barrier) failedRank() int {
+	for _, r := range b.ranks {
+		if b.world.failed[r].Load() {
+			return r
+		}
+	}
+	return -1
+}
+
 func (b *barrier) await() {
 	b.mu.Lock()
+	if b.world.aborted.Load() {
+		b.mu.Unlock()
+		panic(abortPanic{})
+	}
+	// A barrier with a dead member can never complete — fail fast
+	// rather than wait for a peer that will not arrive.
+	if r := b.failedRank(); r >= 0 {
+		b.mu.Unlock()
+		panic(failPanic{rank: r})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -258,9 +392,13 @@ func (b *barrier) await() {
 		return
 	}
 	for gen == b.gen {
-		if b.aborted.Load() {
+		if b.world.aborted.Load() {
 			b.mu.Unlock()
 			panic(abortPanic{})
+		}
+		if r := b.failedRank(); r >= 0 {
+			b.mu.Unlock()
+			panic(failPanic{rank: r})
 		}
 		b.cond.Wait()
 	}
@@ -286,9 +424,16 @@ func (w *World) groupBarrier(ranks []int) *barrier {
 	if b, ok := w.gbars[key]; ok {
 		return b
 	}
-	b := newBarrier(len(ranks), &w.aborted)
+	b := newBarrier(w, ranks)
 	w.gbars[key] = b
 	return b
+}
+
+// RunConfig tunes a Run.
+type RunConfig struct {
+	// RecvTimeout bounds every receive; a rank waiting longer observes
+	// ErrRecvTimeout (via its error return). 0 = wait forever.
+	RecvTimeout time.Duration
 }
 
 // Run launches fn on every rank of a fresh world and waits for all to
@@ -296,14 +441,17 @@ func (w *World) groupBarrier(ranks []int) *barrier {
 // or Barrier are woken and report ErrAborted; the first real error (by
 // rank order) is returned.
 func Run(p int, fn func(c *Comm) error) error {
+	return RunWith(p, RunConfig{}, fn)
+}
+
+// RunWith is Run with a config.
+func RunWith(p int, cfg RunConfig, fn func(c *Comm) error) error {
 	w, err := NewWorld(p)
 	if err != nil {
 		return err
 	}
-	ranks := make([]int, p)
-	for i := range ranks {
-		ranks[i] = i
-	}
+	w.recvTimeout = cfg.RecvTimeout
+	ranks := allRanks(p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
@@ -314,6 +462,14 @@ func Run(p int, fn func(c *Comm) error) error {
 				if rec := recover(); rec != nil {
 					if _, ok := rec.(abortPanic); ok {
 						errs[r] = ErrAborted
+						return
+					}
+					// An unguarded failure wait (fn chose not to
+					// degrade) surfaces as this rank's error and aborts
+					// the world like any other rank error.
+					if fe := AsFailure(rec); fe != nil {
+						errs[r] = fe
+						w.Abort()
 						return
 					}
 					panic(rec)

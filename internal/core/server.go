@@ -67,6 +67,17 @@ type ServerOptions struct {
 	// Accel enables per-brick empty-space skipping on the render
 	// nodes (identical images, fewer samples).
 	Accel bool
+	// Reconnect, when set, makes the daemon link a resumable session:
+	// on connection loss it redials with exponential backoff + jitter
+	// per the policy, re-advertises codecs, and resumes streaming.
+	// Frames produced while the link is down are dropped (counted in
+	// FramesDropped) instead of aborting the run. NodeLinks side
+	// connections are not session-managed.
+	Reconnect *transport.RetryPolicy
+	// Heartbeat, with Reconnect set, pings the daemon on this
+	// interval so a stalled (partitioned) link is detected and
+	// redialed even when TCP keeps the socket open.
+	Heartbeat time.Duration
 	// Background is the gray level composited behind the volume.
 	Background float32
 	// Trace, when set, records per-group pipeline stage spans plus the
@@ -83,13 +94,19 @@ type ServerStats struct {
 	BytesSent  atomic.Int64
 	EncodeNS   atomic.Int64
 	RenderNS   atomic.Int64
+	// FramesDropped counts frames discarded while the daemon link was
+	// reconnecting (Reconnect mode only).
+	FramesDropped atomic.Int64
 }
 
 // Server is the render-cluster side of the system.
 type Server struct {
 	opt   ServerOptions
 	store volio.Store
-	ep    *transport.Endpoint
+	ep    transport.Link
+	// sess is ep when Reconnect is enabled (for terminal-error and
+	// health checks); nil otherwise.
+	sess *transport.Session
 	// nodeEps are the extra per-node connections (NodeLinks); piece i
 	// of a frame travels over connection i mod len(eps).
 	nodeEps []*transport.Endpoint
@@ -131,21 +148,46 @@ func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	ep, err := transport.Dial(opt.DaemonAddr, transport.RoleRenderer, opt.Wrap)
-	if err != nil {
-		return nil, err
-	}
 	// Advertise the codec families this server can produce: the
 	// adaptive stream broker restricts its per-client quality ladder
 	// to these; the plain daemon ignores the message.
-	if err := ep.Send(transport.Message{Type: transport.MsgAdvertise, Payload: transport.MarshalAdvertise(compress.Names())}); err != nil {
-		ep.Close()
-		return nil, err
+	advertise := func(ep *transport.Endpoint) error {
+		return ep.Send(transport.Message{Type: transport.MsgAdvertise, Payload: transport.MarshalAdvertise(compress.Names())})
+	}
+	var ep transport.Link
+	var sess *transport.Session
+	if opt.Reconnect != nil {
+		// Resumable session: every (re)connect re-runs the handshake
+		// and re-advertises, so the broker's quality ladder restarts
+		// cleanly when the server rejoins.
+		sess, err = transport.NewSession(transport.SessionConfig{
+			Role:      transport.RoleRenderer,
+			Addr:      opt.DaemonAddr,
+			Wrap:      opt.Wrap,
+			Retry:     *opt.Reconnect,
+			Heartbeat: opt.Heartbeat,
+			OnConnect: advertise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ep = sess
+	} else {
+		e, err := transport.Dial(opt.DaemonAddr, transport.RoleRenderer, opt.Wrap)
+		if err != nil {
+			return nil, err
+		}
+		if err := advertise(e); err != nil {
+			e.Close()
+			return nil, err
+		}
+		ep = e
 	}
 	s := &Server{
 		opt:   opt,
 		store: store,
 		ep:    ep,
+		sess:  sess,
 		ctrl:  control.NewState(),
 		view:  opt.View,
 		curTF: opt.TF,
@@ -170,7 +212,7 @@ func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
 }
 
 // endpointFor returns the connection piece i travels on.
-func (s *Server) endpointFor(i int) *transport.Endpoint {
+func (s *Server) endpointFor(i int) transport.Link {
 	if len(s.nodeEps) == 0 || i == 0 {
 		return s.ep
 	}
@@ -200,6 +242,17 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		"Cumulative render+composite time in seconds.", func() float64 {
 			return time.Duration(st.RenderNS.Load()).Seconds()
 		})
+	reg.CounterFunc("server_frames_dropped_total",
+		"Frames discarded while the daemon link was reconnecting.", st.FramesDropped.Load)
+}
+
+// LinkState reports the daemon-link health (zero value when the
+// server runs without Reconnect).
+func (s *Server) LinkState() transport.SessionState {
+	if s.sess == nil {
+		return transport.SessionState{Connected: true}
+	}
+	return s.sess.State()
 }
 
 // controlLoop ingests remote callbacks from the daemon.
@@ -317,6 +370,12 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 	if s.isStopped() {
 		return fmt.Errorf("core: server stopped")
 	}
+	if s.sess != nil {
+		if err := s.sess.Err(); err != nil {
+			// Reconnection gave up: stop rendering into the void.
+			return fmt.Errorf("core: daemon link lost: %w", err)
+		}
+	}
 	s.stats.RenderNS.Add(int64(f.RenderTime + f.CompositeTime))
 	defer s.opt.Trace.Begin("server", "core", "ship", "step", f.Step)()
 	pieces, err := MergePieces(f.Pieces, s.opt.Pieces)
@@ -355,6 +414,14 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 				Data:  data,
 			}
 			if err := s.endpointFor(i).SendImage(msg); err != nil {
+				// In Reconnect mode a downed link degrades to frame
+				// drops: the session is redialing in the background
+				// (or has terminally failed, which Run surfaces), and
+				// the animation resumes on rejoin.
+				if s.sess != nil {
+					s.stats.FramesDropped.Add(1)
+					return
+				}
 				errs[i] = err
 				return
 			}

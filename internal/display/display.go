@@ -167,7 +167,7 @@ func (a *Assembler) removeOrder(id uint32) {
 // completed frames on Frames, recording per-frame timing. It is the
 // "display interface + display application" pair of the paper.
 type Viewer struct {
-	ep  *transport.Endpoint
+	ep  transport.Link
 	asm *Assembler
 
 	frames chan *Frame
@@ -213,7 +213,7 @@ func (s *ViewerStats) FPS() float64 {
 }
 
 // NewViewer wraps a connected display endpoint.
-func NewViewer(ep *transport.Endpoint) *Viewer {
+func NewViewer(ep transport.Link) *Viewer {
 	v := &Viewer{
 		ep:           ep,
 		asm:          NewAssembler(),

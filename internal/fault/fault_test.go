@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped writer and a background reader collecting
+// everything the far end receives.
+func pipe(t *testing.T, in *Injector) (net.Conn, <-chan []byte) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	got := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(b)
+		got <- data
+	}()
+	return in.Wrap(a), got
+}
+
+func TestCorruptOffsetsDeterministic(t *testing.T) {
+	in := New(Plan{CorruptOffsets: []int64{3, 10}})
+	c, got := pipe(t, in)
+
+	// Two writes spanning the offsets: bytes 0..7 then 8..15.
+	for _, chunk := range [][]byte{make([]byte, 8), make([]byte, 8)} {
+		if _, err := c.Write(chunk); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	c.Close()
+	data := <-got
+	if len(data) != 16 {
+		t.Fatalf("read %d bytes, want 16", len(data))
+	}
+	for i, b := range data {
+		want := byte(0)
+		if i == 3 || i == 10 {
+			want = 0xFF
+		}
+		if b != want {
+			t.Errorf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+	if s := in.Stats(); s.FlippedBytes != 2 {
+		t.Errorf("FlippedBytes = %d, want 2", s.FlippedBytes)
+	}
+}
+
+func TestCorruptEveryBytes(t *testing.T) {
+	in := New(Plan{CorruptEveryBytes: 4})
+	c, got := pipe(t, in)
+	if _, err := c.Write(make([]byte, 16)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.Close()
+	data := <-got
+	flips := 0
+	for _, b := range data {
+		if b == 0xFF {
+			flips++
+		}
+	}
+	// Offsets 4, 8, 12 flip (0 is skipped: k starts at start/n+1).
+	if flips != 3 {
+		t.Errorf("flipped %d bytes, want 3 (data %v)", flips, data)
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	in := New(Plan{DropAfterBytes: 10})
+	c, got := pipe(t, in)
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	_, err := c.Write(make([]byte, 8)) // crosses 10
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write error = %v, want ErrInjected", err)
+	}
+	// Connection is dead now.
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-drop write error = %v, want ErrInjected", err)
+	}
+	<-got
+	if s := in.Stats(); s.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", s.Drops)
+	}
+}
+
+func TestKillAll(t *testing.T) {
+	in := New(Plan{})
+	c1, got1 := pipe(t, in)
+	c2, got2 := pipe(t, in)
+	if n := in.KillAll(); n != 2 {
+		t.Fatalf("KillAll = %d, want 2", n)
+	}
+	<-got1
+	<-got2
+	for i, c := range []net.Conn{c1, c2} {
+		if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+			t.Errorf("conn %d write after kill = %v, want ErrInjected", i, err)
+		}
+	}
+	if s := in.Stats(); s.Kills != 2 {
+		t.Errorf("Kills = %d, want 2", s.Kills)
+	}
+	// Killing again is a no-op.
+	if n := in.KillAll(); n != 0 {
+		t.Errorf("second KillAll = %d, want 0", n)
+	}
+}
+
+func TestPartitionBlocksUntilHeal(t *testing.T) {
+	in := New(Plan{})
+	c, got := pipe(t, in)
+	in.Partition()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("hi"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed during partition (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.Heal()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after heal")
+	}
+	c.Close()
+	if data := <-got; string(data) != "hi" {
+		t.Fatalf("read %q, want %q", data, "hi")
+	}
+}
+
+func TestPartitionThenKillUnblocks(t *testing.T) {
+	in := New(Plan{})
+	c, _ := pipe(t, in)
+	in.Partition()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("hi"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	in.KillAll()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("write after kill = %v, want ErrInjected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after KillAll")
+	}
+}
+
+func TestSlowStartPaces(t *testing.T) {
+	// First 1000 bytes at 10 KB/s => ~100ms; after that, full speed.
+	in := New(Plan{SlowStartBytes: 1000, SlowStartBandwidth: 10_000})
+	c, got := pipe(t, in)
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 1000)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Errorf("slow-start write took %v, want >= ~100ms", el)
+	}
+	start = time.Now()
+	if _, err := c.Write(make([]byte, 1000)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Errorf("post-slow-start write took %v, want fast", el)
+	}
+	c.Close()
+	<-got
+}
+
+func TestDropProbSeededDeterministic(t *testing.T) {
+	run := func() int {
+		in := New(Plan{Seed: 42, DropProb: 0.3})
+		c, got := pipe(t, in)
+		writes := 0
+		for i := 0; i < 100; i++ {
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				break
+			}
+			writes++
+		}
+		c.Close()
+		<-got
+		return writes
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed gave different drop points: %d vs %d", a, b)
+	}
+	if a >= 100 {
+		t.Fatalf("DropProb=0.3 never dropped in 100 writes")
+	}
+}
+
+func TestNodeCrashFiresOnce(t *testing.T) {
+	fn := NodeCrash(CrashPlan{Group: 1, Rank: 2, Step: 3})
+	if err := fn(0, 0, 0); err != nil {
+		t.Fatalf("wrong coordinates fired: %v", err)
+	}
+	if err := fn(1, 2, 3); !errors.Is(err, ErrInjected) {
+		t.Fatalf("planned crash = %v, want ErrInjected", err)
+	}
+	if err := fn(1, 2, 3); err != nil {
+		t.Fatalf("second fire = %v, want nil (fires once)", err)
+	}
+}

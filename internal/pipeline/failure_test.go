@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/render"
+	"repro/internal/vol"
+)
+
+func TestNodeCrashAbortsRunByDefault(t *testing.T) {
+	store := testStore(4)
+	opt := baseOptions(4, 2)
+	opt.FaultFn = fault.NodeCrash(fault.CrashPlan{Group: 0, Rank: 1, Step: 0})
+	_, err := Run(store, opt, nil)
+	if !errors.Is(err, fault.ErrInjected) && !errors.Is(err, comm.ErrRankFailed) && !errors.Is(err, comm.ErrAborted) {
+		t.Fatalf("err = %v, want injected/rank-failed/aborted", err)
+	}
+	if err == nil {
+		t.Fatal("crash did not fail the run")
+	}
+}
+
+func TestGroupFailureSkipAndContinue(t *testing.T) {
+	const steps = 6
+	store := testStore(steps)
+	opt := baseOptions(4, 2) // groups of 2: group 0 renders 0,2,4; group 1 renders 1,3,5
+	opt.ContinueOnFailure = true
+	opt.FaultFn = fault.NodeCrash(fault.CrashPlan{Group: 0, Rank: 1, Step: 2})
+
+	var mu sync.Mutex
+	delivered := map[int]bool{}
+	failed := map[int]error{}
+	opt.OnFailure = func(gid, step int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if gid != 0 {
+			t.Errorf("failure reported for group %d", gid)
+		}
+		failed[step] = err
+	}
+	m, err := Run(store, opt, func(f *Frame) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if f.Image == nil {
+			t.Errorf("step %d: nil image", f.Step)
+		}
+		delivered[f.Step] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed instead of degrading: %v", err)
+	}
+	for _, s := range []int{0, 1, 3, 5} {
+		if !delivered[s] {
+			t.Errorf("step %d not delivered", s)
+		}
+	}
+	for _, s := range []int{2, 4} {
+		if delivered[s] {
+			t.Errorf("failed step %d was delivered", s)
+		}
+		if failed[s] == nil {
+			t.Errorf("step %d missing from OnFailure", s)
+		}
+	}
+	if !errors.Is(failed[2], fault.ErrInjected) && !errors.Is(failed[2], comm.ErrRankFailed) {
+		t.Errorf("step 2 cause = %v", failed[2])
+	}
+	if m.Frames != 4 || m.FailedSteps != 2 || m.GroupFailures != 1 {
+		t.Errorf("metrics = %+v, want Frames=4 FailedSteps=2 GroupFailures=1", m)
+	}
+	if m.StartupLatency <= 0 || m.Overall < m.StartupLatency {
+		t.Errorf("latency metrics inconsistent: %+v", m)
+	}
+}
+
+func TestStepTimeoutDetectsHungLeader(t *testing.T) {
+	const steps = 6
+	store := testStore(steps)
+	opt := baseOptions(4, 2)
+	opt.ContinueOnFailure = true
+	opt.StepTimeout = 100 * time.Millisecond
+	// The group-0 leader hangs resolving the camera for its second
+	// step; its groupmate must detect the silence and fail the group.
+	base := opt.CameraFn
+	opt.CameraFn = func(step int, d vol.Dims) (*render.Camera, error) {
+		if step == 2 {
+			time.Sleep(600 * time.Millisecond)
+		}
+		if base != nil {
+			return base(step, d)
+		}
+		return render.NewOrbitCamera(d, 0.6, 0.35, 1.8)
+	}
+	var mu sync.Mutex
+	causes := map[int]error{}
+	opt.OnFailure = func(gid, step int, err error) {
+		mu.Lock()
+		causes[step] = err
+		mu.Unlock()
+	}
+	m, err := Run(store, opt, nil)
+	if err != nil {
+		t.Fatalf("run failed instead of degrading: %v", err)
+	}
+	if m.GroupFailures != 1 {
+		t.Fatalf("metrics = %+v, want exactly one group failure", m)
+	}
+	if m.Frames+m.FailedSteps != steps {
+		t.Fatalf("metrics = %+v, frames+failed != %d", m, steps)
+	}
+	mu.Lock()
+	cause := causes[2]
+	mu.Unlock()
+	if !errors.Is(cause, comm.ErrRecvTimeout) && !errors.Is(cause, comm.ErrRankFailed) {
+		t.Fatalf("step 2 cause = %v, want recv-timeout/rank-failed", cause)
+	}
+}

@@ -99,6 +99,24 @@ type Options struct {
 	// (pipeline_stage_seconds{stage=...}) and the §3 metric series
 	// (startup latency, inter-frame delay). Nil disables.
 	Metrics *obs.Registry
+	// StepTimeout bounds every comm-level receive inside a step; a
+	// rank waiting longer than this on a peer declares it dead
+	// (comm.ErrRecvTimeout) instead of hanging the pipeline. 0 waits
+	// forever.
+	StepTimeout time.Duration
+	// FaultFn, when set, is consulted by every node before it renders
+	// (group id, group-local rank, step); a non-nil error crashes that
+	// node — the deterministic injection point for fault.NodeCrash.
+	FaultFn func(gid, rank, step int) error
+	// ContinueOnFailure turns a node failure into a group failure
+	// instead of a run failure: the dead node's group marks its
+	// remaining steps failed and the other groups keep rendering
+	// (skip-and-continue). Without it the first failure aborts the
+	// world and Run returns the error.
+	ContinueOnFailure bool
+	// OnFailure observes each failed (group, step) with its cause
+	// (serialized; called once per step). Nil disables.
+	OnFailure func(gid, step int, err error)
 }
 
 func (o *Options) normalize(store volio.Store) error {
@@ -141,12 +159,19 @@ func (o *Options) normalize(store volio.Store) error {
 }
 
 // Metrics are the paper's three performance measures, computed from
-// real completion times.
+// real completion times. With ContinueOnFailure they cover only the
+// steps that completed; FailedSteps counts the rest.
 type Metrics struct {
 	StartupLatency  time.Duration
 	Overall         time.Duration
 	InterFrameDelay time.Duration
 	Frames          int
+	// FailedSteps counts steps skipped or failed because their group
+	// lost a node.
+	FailedSteps int
+	// GroupFailures counts processor groups that dropped out of the
+	// run.
+	GroupFailures int
 }
 
 // Sink receives completed frames. It is called from group-leader
@@ -177,7 +202,32 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 	}
 	start := time.Now()
 
-	err := comm.Run(opt.P, func(c *comm.Comm) error {
+	// Failure bookkeeping (ContinueOnFailure): first recorder of a
+	// (step) failure wins; OnFailure fires once per step.
+	var (
+		failMu      sync.Mutex
+		failedSteps = map[int]error{}
+		deadGroups  = map[int]bool{}
+	)
+	recordFailure := func(gid, step int, cause error) {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if !deadGroups[gid] {
+			deadGroups[gid] = true
+			if opt.Trace != nil {
+				opt.Trace.Begin(groupTrack(gid), "pipeline", "group-failed", "step", step)()
+			}
+		}
+		if _, seen := failedSteps[step]; seen {
+			return
+		}
+		failedSteps[step] = cause
+		if opt.OnFailure != nil {
+			opt.OnFailure(gid, step, cause)
+		}
+	}
+
+	err := comm.RunWith(opt.P, comm.RunConfig{RecvTimeout: opt.StepTimeout}, func(c *comm.Comm) error {
 		gid := c.Rank() / g
 		members := make([]int, g)
 		for i := range members {
@@ -187,8 +237,15 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 		if err != nil {
 			return err
 		}
+		var groupDead error
 		for s := gid; s < opt.Steps; s += opt.L {
-			if err := renderStep(gc, store, &opt, dims, gid, s, &diskMu, func(f *Frame) error {
+			if groupDead != nil {
+				// The group lost a node: its remaining steps are marked
+				// failed, not rendered — skip-and-continue.
+				recordFailure(gid, s, groupDead)
+				continue
+			}
+			err := renderStepGuarded(gc, store, &opt, dims, gid, s, &diskMu, func(f *Frame) error {
 				end := opt.Trace.Begin(groupTrack(f.Group), "pipeline", "deliver", "step", f.Step)
 				t0 := time.Now()
 				sinkMu.Lock()
@@ -204,9 +261,18 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 				compositeH.Observe(f.CompositeTime.Seconds())
 				deliverH.ObserveDuration(time.Since(t0))
 				return err
-			}); err != nil {
+			})
+			if err == nil {
+				continue
+			}
+			if !opt.ContinueOnFailure {
 				return fmt.Errorf("pipeline: group %d step %d: %w", gid, s, err)
 			}
+			// Wake groupmates blocked on this rank, stop touching the
+			// group communicator, and let the other groups run on.
+			c.FailSelf()
+			groupDead = fmt.Errorf("pipeline: group %d step %d: %w", gid, s, err)
+			recordFailure(gid, s, groupDead)
 		}
 		return nil
 	})
@@ -215,38 +281,68 @@ func Run(store volio.Store, opt Options, sink Sink) (Metrics, error) {
 	}
 
 	// Display-order completion: a frame appears once all earlier
-	// frames have.
-	display := make([]time.Duration, opt.Steps)
+	// completed frames have. Failed steps (zero done time) are excluded
+	// from the latency series and counted separately.
+	display := make([]time.Duration, 0, opt.Steps)
 	var running time.Duration
 	for s := 0; s < opt.Steps; s++ {
+		if done[s].IsZero() {
+			continue
+		}
 		d := done[s].Sub(start)
 		if d > running {
 			running = d
 		}
-		display[s] = running
+		display = append(display, running)
 	}
 	m := Metrics{
-		StartupLatency: display[0],
-		Overall:        display[opt.Steps-1],
-		Frames:         opt.Steps,
+		Frames:        len(display),
+		FailedSteps:   opt.Steps - len(display),
+		GroupFailures: len(deadGroups),
 	}
-	if opt.Steps > 1 {
-		m.InterFrameDelay = (m.Overall - m.StartupLatency) / time.Duration(opt.Steps-1)
+	if len(display) > 0 {
+		m.StartupLatency = display[0]
+		m.Overall = display[len(display)-1]
+	}
+	if len(display) > 1 {
+		m.InterFrameDelay = (m.Overall - m.StartupLatency) / time.Duration(len(display)-1)
 	}
 	if opt.Metrics != nil {
-		opt.Metrics.Histogram("pipeline_startup_latency_seconds",
-			"Time until the first frame of a pass completes.").Observe(m.StartupLatency.Seconds())
+		if len(display) > 0 {
+			opt.Metrics.Histogram("pipeline_startup_latency_seconds",
+				"Time until the first frame of a pass completes.").Observe(m.StartupLatency.Seconds())
+		}
 		ifd := opt.Metrics.Histogram("pipeline_interframe_delay_seconds",
 			"Delay between consecutive frames in display order.")
-		for s := 1; s < opt.Steps; s++ {
-			ifd.Observe((display[s] - display[s-1]).Seconds())
+		for i := 1; i < len(display); i++ {
+			ifd.Observe((display[i] - display[i-1]).Seconds())
 		}
 		opt.Metrics.Gauge("pipeline_overall_seconds",
 			"Overall execution time of the most recent pass.").Set(m.Overall.Seconds())
 		opt.Metrics.Counter("pipeline_frames_total",
-			"Frames completed by the pipelined renderer.").Add(int64(opt.Steps))
+			"Frames completed by the pipelined renderer.").Add(int64(m.Frames))
+		opt.Metrics.Counter("pipeline_failed_steps_total",
+			"Steps skipped or failed because their group lost a node.").Add(int64(m.FailedSteps))
+		opt.Metrics.Counter("pipeline_group_failures_total",
+			"Processor groups that dropped out of a pass.").Add(int64(m.GroupFailures))
 	}
 	return m, nil
+}
+
+// renderStepGuarded runs one step, converting comm failure panics
+// (dead peer, receive timeout) into ordinary errors at this rank so
+// the caller can degrade per group. World aborts still propagate.
+func renderStepGuarded(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, gid, step int, diskMu *sync.Mutex, deliver Sink) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if fe := comm.AsFailure(rec); fe != nil {
+				err = fe
+				return
+			}
+			panic(rec)
+		}
+	}()
+	return renderStep(gc, store, opt, dims, gid, step, diskMu, deliver)
 }
 
 // groupTrack names a processor group's trace track.
@@ -271,6 +367,14 @@ type stepWork struct {
 
 // renderStep runs one time step inside one group communicator.
 func renderStep(gc *comm.Comm, store volio.Store, opt *Options, dims vol.Dims, gid, step int, diskMu *sync.Mutex, deliver Sink) error {
+	if opt.FaultFn != nil {
+		// Injected node crash: fires before this node touches the
+		// group, so groupmates detect it via failed-peer wakeups (or
+		// StepTimeout) exactly like a real dead process.
+		if err := opt.FaultFn(gid, gc.Rank(), step); err != nil {
+			return err
+		}
+	}
 	g := gc.Size()
 	boxes, err := vol.SplitKD(dims, g)
 	if err != nil {

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupFailureSkipsSteps(t *testing.T) {
+	base := Config{Machine: RWCP(), Work: paperWorkload(6), P: 8, L: 2}
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Failures = []GroupFailure{{Group: 0, AtStep: 2}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0 owns steps 0,2,4; it dies at step 2, so 2 and 4 are lost.
+	if res.Frames != 4 || res.FailedSteps != 2 {
+		t.Fatalf("Frames=%d FailedSteps=%d, want 4/2", res.Frames, res.FailedSteps)
+	}
+	for _, s := range []int{2, 4} {
+		if !res.Trace[s].Failed {
+			t.Errorf("step %d not marked failed", s)
+		}
+	}
+	for _, s := range []int{0, 1, 3, 5} {
+		if res.Trace[s].Failed {
+			t.Errorf("step %d wrongly failed", s)
+		}
+	}
+	// Losing work never makes the run longer.
+	if res.Overall > healthy.Overall {
+		t.Errorf("failed run overall %v > healthy %v", res.Overall, healthy.Overall)
+	}
+	if res.StartupLatency <= 0 {
+		t.Errorf("startup = %v", res.StartupLatency)
+	}
+	if g := GanttString(res.Trace, 40); !strings.Contains(g, "group failed") {
+		t.Errorf("gantt does not show the failure:\n%s", g)
+	}
+}
+
+func TestGroupFailureValidation(t *testing.T) {
+	cfg := Config{Machine: RWCP(), Work: paperWorkload(4), P: 8, L: 2,
+		Failures: []GroupFailure{{Group: 2, AtStep: 0}}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range failure group accepted")
+	}
+	cfg.Failures = []GroupFailure{{Group: 0, AtStep: -1}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative failure step accepted")
+	}
+}

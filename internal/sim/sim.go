@@ -135,6 +135,18 @@ type Config struct {
 	// process quite straightforwardly, and would improve the overall
 	// system performance").
 	ParallelInput bool
+	// Failures schedules group deaths — the virtual-time mirror of the
+	// real pipeline's skip-and-continue degradation: from AtStep on, a
+	// failed group's steps are marked failed and consume no resources
+	// while the surviving groups keep the schedule.
+	Failures []GroupFailure
+}
+
+// GroupFailure kills one processor group at the step it would start.
+type GroupFailure struct {
+	// Group is the group index (0..L-1); AtStep the first step it
+	// fails on (the group's later steps fail too).
+	Group, AtStep int
 }
 
 // Validate checks the configuration.
@@ -160,6 +172,14 @@ func (c Config) Validate() error {
 	if c.Work.CompressRatio <= 0 || c.Work.CompressRatio > 1 {
 		return fmt.Errorf("sim: compress ratio %v", c.Work.CompressRatio)
 	}
+	for _, f := range c.Failures {
+		if f.Group < 0 || f.Group >= c.L {
+			return fmt.Errorf("sim: failure group %d out of [0,%d)", f.Group, c.L)
+		}
+		if f.AtStep < 0 {
+			return fmt.Errorf("sim: failure step %d", f.AtStep)
+		}
+	}
 	return nil
 }
 
@@ -180,6 +200,10 @@ type Result struct {
 	TransportPerFrame time.Duration // WAN serialization + latency
 	DecodePerFrame    time.Duration // viewer decompression
 	InputPerFrame     time.Duration
+	// Frames is the number of steps that completed; FailedSteps the
+	// number lost to scheduled group failures.
+	Frames      int
+	FailedSteps int
 	// Trace records every step's scheduled stage intervals (see
 	// Gantt).
 	Trace []StepTrace
@@ -230,10 +254,26 @@ func Run(c Config) (Result, error) {
 	viewerFree := 0.0
 	renderDone := make([]float64, w.Steps)
 	arrive := make([]time.Duration, w.Steps)
+	failed := make([]bool, w.Steps)
 	trace := make([]StepTrace, w.Steps)
+
+	// failFrom[g] is the first step group g fails on (earliest wins).
+	failFrom := map[int]int{}
+	for _, f := range c.Failures {
+		if cur, ok := failFrom[f.Group]; !ok || f.AtStep < cur {
+			failFrom[f.Group] = f.AtStep
+		}
+	}
 
 	for s := 0; s < w.Steps; s++ {
 		g := s % c.L
+		if at, dead := failFrom[g]; dead && s >= at {
+			// Skip-and-continue: a dead group's steps are lost and
+			// consume no input, render, WAN, or viewer time.
+			failed[s] = true
+			trace[s] = StepTrace{Step: s, Group: g, Failed: true}
+			continue
+		}
 		// Input: shared sequential path; a group's input buffer frees
 		// when its previous volume has been rendered (double
 		// buffering); without pipelining, input waits for the whole
@@ -285,17 +325,25 @@ func Run(c Config) (Result, error) {
 		InputPerFrame:     secDur(inputT),
 	}
 	// Frames display in step order; a frame can only appear after all
-	// earlier ones.
-	display := make([]time.Duration, len(arrive))
+	// earlier completed ones. Failed steps never arrive and are
+	// excluded from the latency series.
+	display := make([]time.Duration, 0, len(arrive))
 	run := time.Duration(0)
 	for i, a := range arrive {
+		if failed[i] {
+			continue
+		}
 		if a > run {
 			run = a
 		}
-		display[i] = run
+		display = append(display, run)
 	}
-	res.StartupLatency = display[0]
-	res.Overall = display[len(display)-1]
+	res.Frames = len(display)
+	res.FailedSteps = w.Steps - len(display)
+	if len(display) > 0 {
+		res.StartupLatency = display[0]
+		res.Overall = display[len(display)-1]
+	}
 	if len(display) > 1 {
 		res.InterFrameDelay = (res.Overall - res.StartupLatency) / time.Duration(len(display)-1)
 	}

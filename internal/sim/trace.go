@@ -21,6 +21,9 @@ type StepTrace struct {
 	RenderStart, RenderEnd time.Duration
 	SendStart, SendEnd     time.Duration
 	Arrive                 time.Duration
+	// Failed marks a step lost to a scheduled group failure; its
+	// intervals are zero.
+	Failed bool
 }
 
 // Gantt renders the trace as a fixed-width ASCII chart, one row per
@@ -53,6 +56,12 @@ func Gantt(w io.Writer, trace []StepTrace, width int) error {
 		return err
 	}
 	for _, s := range trace {
+		if s.Failed {
+			if _, err := fmt.Fprintf(w, "step %3d g%-2d |%-*s|\n", s.Step, s.Group, width, "x (group failed)"); err != nil {
+				return err
+			}
+			continue
+		}
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = ' '
@@ -90,6 +99,12 @@ func GanttString(trace []StepTrace, width int) string {
 func ExportSpans(t *obs.Tracer, trace []StepTrace) {
 	for _, s := range trace {
 		track := fmt.Sprintf("sim group %d", s.Group)
+		if s.Failed {
+			t.Add(obs.Span{Track: track, Cat: "sim", Name: "failed",
+				Start: s.Arrive, End: s.Arrive,
+				Args: map[string]any{"step": s.Step}})
+			continue
+		}
 		t.Add(obs.Span{Track: track, Cat: "sim", Name: "input",
 			Start: s.InputStart, End: s.InputEnd,
 			Args: map[string]any{"step": s.Step}})

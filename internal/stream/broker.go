@@ -84,6 +84,9 @@ type client struct {
 	sentMu sync.Mutex
 	sent   map[uint32]time.Time
 
+	// wmu serializes conn writes (frame sender vs. pong replies).
+	wmu sync.Mutex
+
 	framesSent atomic.Int64
 	bytesSent  atomic.Int64
 }
@@ -331,6 +334,11 @@ func (b *Broker) handleRenderer(conn net.Conn) {
 			b.ingest(m.Payload)
 		case transport.MsgAdvertise:
 			b.setAdvertised(transport.UnmarshalAdvertise(m.Payload))
+		case transport.MsgPing:
+			// Liveness probe from a reconnect-capable server.
+			r.wmu.Lock()
+			_ = transport.WriteMessage(conn, transport.Message{Type: transport.MsgPong, Payload: m.Payload})
+			r.wmu.Unlock()
 		case transport.MsgBye:
 			return
 		}
@@ -447,6 +455,11 @@ func (b *Broker) handleDisplay(conn net.Conn) {
 			}
 		case transport.MsgControl:
 			b.routeToRenderers(m)
+		case transport.MsgPing:
+			// Liveness probe from a reconnect-capable viewer.
+			c.wmu.Lock()
+			_ = transport.WriteMessage(conn, transport.Message{Type: transport.MsgPong, Payload: m.Payload})
+			c.wmu.Unlock()
 		case transport.MsgBye:
 			return
 		}
@@ -558,7 +571,10 @@ func (b *Broker) sender(c *client) {
 		c.sentMu.Unlock()
 		t0 := time.Now()
 		endSend := tr.Begin(track, "stream", "send", "frame", sf.ID, "bytes", len(payload))
-		if err := transport.WriteMessage(c.conn, transport.Message{Type: transport.MsgImage, Payload: payload}); err != nil {
+		c.wmu.Lock()
+		err = transport.WriteMessage(c.conn, transport.Message{Type: transport.MsgImage, Payload: payload})
+		c.wmu.Unlock()
+		if err != nil {
 			endSend()
 			c.conn.Close()
 			return

@@ -1,18 +1,42 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// Link is the endpoint surface the renderer and display interfaces
+// program against: a plain Endpoint (one connection, dies with it) or
+// a Session (auto-reconnecting) both implement it.
+type Link interface {
+	// Inbox delivers messages from the daemon.
+	Inbox() <-chan Message
+	// Send writes a message to the daemon; safe for concurrent use.
+	Send(Message) error
+	// SendImage marshals and sends an image piece.
+	SendImage(*ImageMsg) error
+	// SendControl marshals and sends a control message.
+	SendControl(*ControlMsg) error
+	// Err reports the error that ended the link (nil while healthy).
+	Err() error
+	// Close shuts the link down.
+	Close() error
+}
 
 // Endpoint is one side's connection to the display daemon: the
 // renderer interface (role renderer) or the display interface (role
 // display). It serializes writes and delivers inbound messages on a
-// channel.
+// channel. Liveness probes (MsgPing) from the peer are answered
+// automatically; corrupt CRC-checked frames are counted and dropped
+// without surfacing on the inbox.
 type Endpoint struct {
 	conn net.Conn
 	role Role
+	fr   Framer
 
 	wmu sync.Mutex
 
@@ -22,6 +46,14 @@ type Endpoint struct {
 
 	emu     sync.Mutex
 	readErr error
+
+	// lastRecv is the wall-clock nanos of the most recent inbound
+	// message (any type) — the signal heartbeat monitors watch.
+	lastRecv atomic.Int64
+	// rttNS is the round-trip observed by the most recent pong.
+	rttNS atomic.Int64
+	// corrupt counts CRC-failed frames dropped by the read loop.
+	corrupt atomic.Int64
 }
 
 // Dial connects to the daemon at addr with the given role, optionally
@@ -38,11 +70,14 @@ func Dial(addr string, role Role, wrap func(net.Conn) net.Conn) (*Endpoint, erro
 }
 
 // NewEndpoint performs the handshake on an existing connection: it
-// announces the role and waits for the daemon's welcome, so a
-// successfully returned endpoint is fully registered.
+// announces the role plus the protocol versions it speaks and waits
+// for the daemon's welcome, so a successfully returned endpoint is
+// fully registered and knows the negotiated wire version. Hellos and
+// welcomes always travel in legacy framing; the negotiated version
+// applies from the first message after them.
 func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
 	e := &Endpoint{conn: conn, role: role, inbox: make(chan Message, 64), done: make(chan struct{})}
-	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: []byte{byte(role)}}); err != nil {
+	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: HelloPayload(role, ProtoV2)}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -55,19 +90,62 @@ func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: unexpected handshake reply type %d", welcome.Type)
 	}
+	if _, v, err := ParseHello(welcome.Payload); err == nil {
+		e.fr = Framer{Version: NegotiateVersion(ProtoV2, v)}
+	}
+	e.lastRecv.Store(time.Now().UnixNano())
 	go e.readLoop()
 	return e, nil
 }
 
+// ProtoVersion returns the negotiated wire version.
+func (e *Endpoint) ProtoVersion() byte { return e.fr.Version }
+
+// CorruptDropped reports CRC-failed frames dropped by the read loop.
+func (e *Endpoint) CorruptDropped() int64 { return e.corrupt.Load() }
+
+// LastRecv returns the time of the most recent inbound message.
+func (e *Endpoint) LastRecv() time.Time { return time.Unix(0, e.lastRecv.Load()) }
+
+// RTT returns the round-trip observed by the most recent answered
+// ping (zero before the first pong).
+func (e *Endpoint) RTT() time.Duration { return time.Duration(e.rttNS.Load()) }
+
+// Ping sends a liveness probe carrying the current clock; the RTT
+// becomes observable via RTT when the pong returns.
+func (e *Endpoint) Ping() error {
+	return e.Send(Message{Type: MsgPing, Payload: MarshalPing(time.Now().UnixNano())})
+}
+
 func (e *Endpoint) readLoop() {
 	for {
-		m, err := ReadMessage(e.conn)
+		m, err := e.fr.ReadMessage(e.conn)
 		if err != nil {
+			// A checksum failure leaves the stream aligned on the next
+			// frame: drop the corrupt message and keep reading rather
+			// than killing a healthy connection over one flipped bit.
+			if errors.Is(err, ErrChecksum) {
+				e.corrupt.Add(1)
+				continue
+			}
 			e.emu.Lock()
 			e.readErr = err
 			e.emu.Unlock()
 			close(e.inbox)
 			return
+		}
+		e.lastRecv.Store(time.Now().UnixNano())
+		switch m.Type {
+		case MsgPing:
+			// Liveness probe: answer on the endpoint's clock, echoing
+			// the payload; never delivered to the inbox.
+			_ = e.Send(Message{Type: MsgPong, Payload: m.Payload})
+			continue
+		case MsgPong:
+			if sent, err := UnmarshalPing(m.Payload); err == nil {
+				e.rttNS.Store(time.Now().UnixNano() - sent)
+			}
+			continue
 		}
 		// Selecting on done keeps the loop from blocking forever on a
 		// full inbox nobody drains after Close (goroutine leak).
@@ -96,7 +174,7 @@ func (e *Endpoint) Err() error {
 func (e *Endpoint) Send(m Message) error {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	return WriteMessage(e.conn, m)
+	return e.fr.WriteMessage(e.conn, m)
 }
 
 // SendImage marshals and sends an image piece.

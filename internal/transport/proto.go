@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strings"
 )
@@ -53,11 +54,47 @@ const (
 	// it can produce (comma-separated names); the stream broker
 	// restricts its quality ladder to advertised codecs.
 	MsgAdvertise MsgType = 6
+	// MsgPing is a liveness probe: payload is the sender's 8-byte
+	// send timestamp (nanoseconds, opaque to the receiver). Endpoints
+	// and daemons answer with MsgPong echoing the payload.
+	MsgPing MsgType = 7
+	// MsgPong answers a ping, echoing the ping payload so the sender
+	// can compute the round-trip time on its own clock.
+	MsgPong MsgType = 8
 )
+
+// Wire protocol versions, negotiated at handshake. A hello (and the
+// daemon's welcome reply) may carry a second payload byte naming the
+// highest version the sender speaks; both sides then use the minimum.
+// Legacy single-byte hellos negotiate ProtoV1, so old and new
+// binaries interoperate in either direction.
+const (
+	// ProtoV1 is the legacy framing: 5-byte header (length, type), no
+	// integrity check.
+	ProtoV1 byte = 0
+	// ProtoV2 adds a flags byte to the header and a CRC32 (IEEE)
+	// trailer over type+flags+payload, so corrupted frames are
+	// detected and dropped instead of displayed.
+	ProtoV2 byte = 1
+)
+
+// v2 header flag bits.
+const flagCRC byte = 1 << 0
 
 // maxMessage bounds a wire message to keep a corrupt length prefix
 // from exhausting memory (64 MiB fits a raw 2048^2 frame with room).
 const maxMessage = 64 << 20
+
+// ErrTooLarge reports a length prefix beyond the wire limit — either
+// a legitimately oversized frame on the write side or, on the read
+// side, a corrupted length field. Callers distinguish it from other
+// read errors with errors.Is.
+var ErrTooLarge = errors.New("transport: message exceeds size limit")
+
+// ErrChecksum reports a v2 frame whose CRC32 trailer does not match
+// its contents. The stream position is past the frame when it is
+// returned, so callers may drop the message and keep reading.
+var ErrChecksum = errors.New("transport: message checksum mismatch")
 
 // Message is one framed unit.
 type Message struct {
@@ -65,36 +102,152 @@ type Message struct {
 	Payload []byte
 }
 
-// WriteMessage frames and writes a message.
+// WriteMessage frames and writes a message in legacy (v1) framing.
 func WriteMessage(w io.Writer, m Message) error {
+	return Framer{}.WriteMessage(w, m)
+}
+
+// ReadMessage reads one legacy (v1) framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	return Framer{}.ReadMessage(r)
+}
+
+// Framer frames messages at a negotiated protocol version. The zero
+// value speaks ProtoV1 (the legacy 5-byte header); a ProtoV2 framer
+// adds a flags byte and a CRC32 integrity trailer. A Framer is set
+// once at handshake and is safe for concurrent use afterwards.
+type Framer struct {
+	// Version is the negotiated wire version (ProtoV1 or ProtoV2).
+	Version byte
+}
+
+// WriteMessage frames and writes one message.
+func (f Framer) WriteMessage(w io.Writer, m Message) error {
 	if len(m.Payload) > maxMessage {
-		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(m.Payload))
+		return fmt.Errorf("transport: message of %d bytes: %w", len(m.Payload), ErrTooLarge)
 	}
-	var hdr [5]byte
+	if f.Version < ProtoV2 {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(m.Payload)))
+		hdr[4] = byte(m.Type)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(m.Payload)
+		return err
+	}
+	var hdr [6]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(m.Payload)))
 	hdr[4] = byte(m.Type)
+	hdr[5] = flagCRC
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:6])
+	crc.Write(m.Payload)
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc.Sum32())
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(m.Payload)
+	if _, err := w.Write(m.Payload); err != nil {
+		return err
+	}
+	_, err := w.Write(trailer[:])
 	return err
 }
 
-// ReadMessage reads one framed message.
-func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [5]byte
+// ReadMessage reads one framed message. At ProtoV2 it verifies the
+// CRC32 trailer and returns ErrChecksum (with the stream advanced
+// past the frame) on mismatch, so callers can drop the corrupt frame
+// and continue; ErrTooLarge reports a length prefix over the limit,
+// which on a CRC-checked stream usually means a corrupted header and
+// is unrecoverable without a reconnect.
+func (f Framer) ReadMessage(r io.Reader) (Message, error) {
+	if f.Version < ProtoV2 {
+		var hdr [5]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return Message{}, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		if n > maxMessage {
+			return Message{}, fmt.Errorf("transport: message length %d: %w", n, ErrTooLarge)
+		}
+		m := Message{Type: MsgType(hdr[4]), Payload: make([]byte, n)}
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return Message{}, err
+		}
+		return m, nil
+	}
+	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxMessage {
-		return Message{}, fmt.Errorf("transport: message length %d exceeds limit", n)
+		return Message{}, fmt.Errorf("transport: message length %d: %w", n, ErrTooLarge)
 	}
-	m := Message{Type: MsgType(hdr[4]), Payload: make([]byte, n)}
-	if _, err := io.ReadFull(r, m.Payload); err != nil {
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
-	return m, nil
+	payload, trailer := body[:n], body[n:]
+	if hdr[5]&flagCRC != 0 {
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[4:6])
+		crc.Write(payload)
+		if got, want := crc.Sum32(), binary.BigEndian.Uint32(trailer); got != want {
+			return Message{}, fmt.Errorf("transport: crc %08x != %08x: %w", got, want, ErrChecksum)
+		}
+	}
+	return Message{Type: MsgType(hdr[4]), Payload: payload}, nil
+}
+
+// HelloPayload builds a hello (or welcome) payload advertising a role
+// and the highest protocol version the sender speaks.
+func HelloPayload(role Role, version byte) []byte {
+	return []byte{byte(role), version}
+}
+
+// ParseHello extracts the role and advertised protocol version from a
+// hello payload. Legacy single-byte payloads advertise ProtoV1.
+func ParseHello(p []byte) (Role, byte, error) {
+	if len(p) < 1 {
+		return 0, 0, fmt.Errorf("transport: empty hello: %w", ErrTruncated)
+	}
+	v := ProtoV1
+	if len(p) >= 2 {
+		v = p[1]
+	}
+	return Role(p[0]), v, nil
+}
+
+// NegotiateVersion returns the wire version two peers settle on: the
+// lower of the two advertisements, capped at ProtoV2.
+func NegotiateVersion(a, b byte) byte {
+	v := a
+	if b < v {
+		v = b
+	}
+	if v > ProtoV2 {
+		v = ProtoV2
+	}
+	return v
+}
+
+// MarshalPing builds a ping (or pong) payload from a sender-clock
+// timestamp in nanoseconds.
+func MarshalPing(nanos int64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(nanos))
+	return out
+}
+
+// UnmarshalPing recovers the sender timestamp from a ping/pong
+// payload.
+func UnmarshalPing(p []byte) (int64, error) {
+	if len(p) < 8 {
+		return 0, ErrTruncated
+	}
+	return int64(binary.BigEndian.Uint64(p)), nil
 }
 
 // ImageMsg is the payload of MsgImage: one compressed piece of a
