@@ -81,3 +81,9 @@ func BenchmarkDatasets(b *testing.B) {
 func BenchmarkHybrid(b *testing.B) {
 	benchExperiment(b, (*experiments.Context).Hybrid)
 }
+
+// BenchmarkPerf regenerates the multicore hot-path measurements
+// (render scaling, pooled-path allocs/frame, codec throughput).
+func BenchmarkPerf(b *testing.B) {
+	benchExperiment(b, (*experiments.Context).Perf)
+}

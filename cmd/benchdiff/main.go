@@ -1,0 +1,144 @@
+// Command benchdiff compares two BENCH_render.json files (the perf
+// experiment's output, see `paperbench -exp perf -bench-out`) and
+// fails when the current run regresses from the baseline.
+//
+//	benchdiff -baseline BENCH_render.json -current /tmp/bench.json
+//
+// Machine-independent metrics — allocations per frame/op — are always
+// gated at the tolerance (default 15%). Time-denominated metrics
+// (ns/frame, MB/s) vary with the host, so they are reported but only
+// gated with -time; CI runs on heterogeneous runners and must not fail
+// on hardware noise. The parallel speedup floor (-speedup) is checked
+// only when the current run had GOMAXPROCS >= 4, since a speedup
+// measurement on fewer cores says nothing about the tile engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_render.json", "committed baseline file")
+	currentPath := flag.String("current", "", "bench file from the current build (required)")
+	tol := flag.Float64("tol", 0.15, "relative regression tolerance")
+	gateTime := flag.Bool("time", false, "also gate time-denominated metrics (same-host comparisons only)")
+	speedupFloor := flag.Float64("speedup", 2.0, "minimum speedup at 4 workers (checked only when GOMAXPROCS >= 4)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	// worse reports whether cur regressed beyond tolerance from base
+	// for a lower-is-better metric. The +0.75 absolute slack absorbs
+	// sub-alloc jitter in fractional malloc counts without masking a
+	// genuine extra allocation on the hot path.
+	worse := func(curV, baseV float64) bool {
+		return curV > baseV*(1+*tol)+0.75
+	}
+
+	if worse(cur.RenderAllocsPerFrame, base.RenderAllocsPerFrame) {
+		fail("render allocs/frame: %.1f -> %.1f (baseline +%.0f%%)",
+			base.RenderAllocsPerFrame, cur.RenderAllocsPerFrame, *tol*100)
+	}
+	if worse(cur.FramePathAllocsPerFrame, base.FramePathAllocsPerFrame) {
+		fail("pooled frame path allocs/frame: %.1f -> %.1f",
+			base.FramePathAllocsPerFrame, cur.FramePathAllocsPerFrame)
+	}
+	baseCodecs := map[string]experiments.PerfCodecPoint{}
+	for _, p := range base.Codecs {
+		baseCodecs[p.Codec] = p
+	}
+	for _, p := range cur.Codecs {
+		bp, ok := baseCodecs[p.Codec]
+		if !ok {
+			continue // new codec: nothing to regress against
+		}
+		if worse(p.EncodeAllocsPer, bp.EncodeAllocsPer) {
+			fail("codec %s encode allocs/op: %.1f -> %.1f", p.Codec, bp.EncodeAllocsPer, p.EncodeAllocsPer)
+		}
+		if *gateTime {
+			if p.EncodeMBps < bp.EncodeMBps*(1-*tol) {
+				fail("codec %s encode throughput: %.1f -> %.1f MB/s", p.Codec, bp.EncodeMBps, p.EncodeMBps)
+			}
+			if p.DecodeMBps < bp.DecodeMBps*(1-*tol) {
+				fail("codec %s decode throughput: %.1f -> %.1f MB/s", p.Codec, bp.DecodeMBps, p.DecodeMBps)
+			}
+		}
+	}
+	if *gateTime {
+		baseNs := map[int]int64{}
+		for _, p := range base.Render {
+			baseNs[p.Workers] = p.NsPerFrame
+		}
+		for _, p := range cur.Render {
+			if bNs, ok := baseNs[p.Workers]; ok && float64(p.NsPerFrame) > float64(bNs)*(1+*tol) {
+				fail("render ns/frame at %d workers: %d -> %d", p.Workers, bNs, p.NsPerFrame)
+			}
+		}
+	}
+	if cur.GOMAXPROCS >= 4 {
+		for _, p := range cur.Render {
+			if p.Workers == 4 && p.Speedup < *speedupFloor {
+				fail("speedup at 4 workers %.2fx below the %.1fx floor (GOMAXPROCS=%d)",
+					p.Speedup, *speedupFloor, cur.GOMAXPROCS)
+			}
+		}
+	} else {
+		fmt.Printf("benchdiff: GOMAXPROCS=%d, skipping the %dx-at-4-workers speedup gate\n",
+			cur.GOMAXPROCS, int(*speedupFloor))
+	}
+
+	fmt.Printf("benchdiff: baseline %s vs current %s (tol %.0f%%)\n", *baselinePath, *currentPath, *tol*100)
+	fmt.Printf("  render allocs/frame %.1f -> %.1f, frame path %.1f -> %.1f\n",
+		base.RenderAllocsPerFrame, cur.RenderAllocsPerFrame,
+		base.FramePathAllocsPerFrame, cur.FramePathAllocsPerFrame)
+	for _, p := range cur.Render {
+		fmt.Printf("  render %d workers: %d ns/frame (%.2fx)\n", p.Workers, p.NsPerFrame, p.Speedup)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  - %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func load(path string) (*experiments.PerfResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res experiments.PerfResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res.Render) == 0 {
+		return nil, fmt.Errorf("%s: no render measurements (not a perf result?)", path)
+	}
+	return &res, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

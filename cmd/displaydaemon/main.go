@@ -116,6 +116,7 @@ func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, ve
 		reg := obs.NewRegistry()
 		b.Instrument(reg)
 		obs.InstrumentCodecs(reg)
+		obs.InstrumentAllocs(reg)
 		tr := obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
 		b.SetTracer(tr)
 		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{

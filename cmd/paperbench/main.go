@@ -9,7 +9,11 @@
 //	                               # in a Perfetto/chrome://tracing viewer
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
-// datasets, hybrid, trace, pipeline, adaptive, faults, all.
+// datasets, hybrid, trace, pipeline, adaptive, faults, perf, all.
+//
+//	paperbench -exp perf -bench-out BENCH_render.json
+//	                               # multicore hot-path benchmark; the
+//	                               # JSON feeds cmd/benchdiff in CI
 package main
 
 import (
@@ -23,10 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
+	benchOut := flag.String("bench-out", "", "write the perf experiment's result (BENCH_render.json format) to this file")
 	flag.Parse()
 
 	ctx := experiments.New(os.Stdout, *quick)
@@ -46,8 +51,9 @@ func main() {
 		"pipeline": wrap(ctx.Pipeline),
 		"adaptive": wrap(ctx.Adaptive),
 		"faults":   wrap(ctx.Faults),
+		"perf":     wrap(ctx.Perf),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf"}
 
 	var todo []string
 	switch *exp {
@@ -69,6 +75,24 @@ func main() {
 			os.Exit(1)
 		}
 		results[name] = res
+	}
+	if *benchOut != "" {
+		res, ok := results["perf"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "paperbench: -bench-out requires the perf experiment (use -exp perf or -exp all)")
+			os.Exit(2)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: encode bench result: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: write %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")

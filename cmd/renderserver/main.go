@@ -76,6 +76,8 @@ func main() {
 		opt.Metrics = obs.NewRegistry()
 		opt.Trace = obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
 		obs.InstrumentCodecs(opt.Metrics)
+		obs.InstrumentRender(opt.Metrics)
+		obs.InstrumentAllocs(opt.Metrics)
 	}
 	srv, err := core.NewServer(store, opt)
 	if err != nil {

@@ -108,6 +108,12 @@ func pieceBytes(p *img.RGBA) int { return len(p.Pix) * 4 }
 // and the fully composited pixels of that region — ready for parallel
 // compression or for FinalGather.
 //
+// Sub-image exchange buffers are drawn from the img pool and recycled
+// as each stage consumes them, so a steady-state frame loop swaps
+// without allocating. The returned image is pool-backed: the caller
+// may img.PutRGBA it when finished (dropping it is also fine). The
+// caller's im is never recycled.
+//
 // tagBase namespaces the exchange tags so concurrent groups sharing a
 // world do not cross-talk.
 func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, tagBase int) (img.Region, *img.RGBA, error) {
@@ -128,13 +134,18 @@ func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, ta
 		if rank&(1<<s) != 0 {
 			keep, give = hi, lo
 		}
-		keepIm, err := cur.im.SubRGBA(relRegion(keep, cur.reg))
+		keepIm, err := subRGBAPooled(cur.im, relRegion(keep, cur.reg))
 		if err != nil {
 			return img.Region{}, nil, err
 		}
-		giveIm, err := cur.im.SubRGBA(relRegion(give, cur.reg))
+		giveIm, err := subRGBAPooled(cur.im, relRegion(give, cur.reg))
 		if err != nil {
 			return img.Region{}, nil, err
+		}
+		// Both halves are carved out, so the previous stage's piece is
+		// dead — recycle it unless it is the caller's input image.
+		if cur.im != im {
+			img.PutRGBA(cur.im)
 		}
 		c.Send(partner, tagBase+s, giveIm, pieceBytes(giveIm))
 		got, _ := c.Recv(partner, tagBase+s)
@@ -153,15 +164,34 @@ func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, ta
 			if err := keepIm.Over(theirs); err != nil {
 				return img.Region{}, nil, err
 			}
+			img.PutRGBA(theirs) // merged into keepIm
 			cur = piece{reg: keep, im: keepIm}
 		} else {
 			if err := theirs.Over(keepIm); err != nil {
 				return img.Region{}, nil, err
 			}
+			img.PutRGBA(keepIm) // merged into theirs
 			cur = piece{reg: keep, im: theirs}
 		}
 	}
 	return cur.reg, cur.im, nil
+}
+
+// subRGBAPooled carves region r of src into a pool-backed image —
+// the allocation-free twin of img.RGBA.SubRGBA. The copy overwrites
+// every pixel, so the pooled buffer needs no clearing beyond what
+// GetRGBA provides.
+func subRGBAPooled(src *img.RGBA, r img.Region) (*img.RGBA, error) {
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 > src.W || r.Y1 > src.H || r.Empty() {
+		return nil, fmt.Errorf("composite: region %v outside image %dx%d", r, src.W, src.H)
+	}
+	s := img.GetRGBARaw(r.W(), r.H())
+	for y := 0; y < s.H; y++ {
+		so := ((r.Y0+y)*src.W + r.X0) * 4
+		do := y * s.W * 4
+		copy(s.Pix[do:do+s.W*4], src.Pix[so:so+s.W*4])
+	}
+	return s, nil
 }
 
 // relRegion translates absolute screen region r into coordinates
@@ -223,7 +253,9 @@ func subtreeUnion(boxes []vol.Box, r, s int) vol.Box {
 
 // FinalGather assembles the per-rank composited pieces into a full
 // frame at root. Every rank calls it with its piece from BinarySwap;
-// only root receives a non-nil image.
+// only root receives a non-nil image. Ownership of pc transfers to
+// FinalGather on every rank: root recycles the received pieces into
+// the img pool after blitting (its own pc is left to the caller).
 func FinalGather(c *comm.Comm, reg img.Region, pc *img.RGBA, w, h, root, tag int) (*img.RGBA, error) {
 	if c.Rank() != root {
 		c.Send(root, tag, piece{reg: reg, im: pc}, pieceBytes(pc))
@@ -245,6 +277,7 @@ func FinalGather(c *comm.Comm, reg img.Region, pc *img.RGBA, w, h, root, tag int
 		if err := out.BlitRGBA(pp.im, pp.reg); err != nil {
 			return nil, err
 		}
+		img.PutRGBA(pp.im)
 	}
 	return out, nil
 }

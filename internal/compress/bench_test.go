@@ -1,0 +1,51 @@
+package compress
+
+import (
+	"testing"
+)
+
+// Per-codec frame encode benchmarks; SetBytes is the raw frame size so
+// the ns/op column converts to raw MB/s throughput.
+func BenchmarkEncodeFrame(b *testing.B) {
+	frame := testFrame(256, 256)
+	for _, name := range Names() {
+		codec, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(frame.Pix)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := codec.EncodeFrame(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				Recycle(data)
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	frame := testFrame(256, 256)
+	for _, name := range Names() {
+		codec, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := codec.EncodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(frame.Pix)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.DecodeFrame(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/img"
@@ -39,6 +40,55 @@ type FrameCodec interface {
 	DecodeFrame(data []byte) (*img.Frame, error)
 }
 
+// Buffer pool of the encode path. Frame encoders draw their output
+// (and internal raw-serialization scratch) from here instead of
+// allocating per frame; call sites that know an encoded payload is
+// dead hand it back with Recycle. A buffer that escapes into a cache
+// or is simply dropped is garbage-collected as usual — the pool is an
+// optimization, never an ownership requirement.
+var (
+	bufPool sync.Pool // *[]byte
+
+	bufHits   atomic.Int64
+	bufMisses atomic.Int64
+	bufPuts   atomic.Int64
+)
+
+// getBuf returns a length-n buffer (contents undefined) with pooled
+// backing when available.
+func getBuf(n int) []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok && cap(*p) >= n {
+		bufHits.Add(1)
+		return (*p)[:n]
+	}
+	bufMisses.Add(1)
+	return make([]byte, n)
+}
+
+// Recycle returns an encoded payload (or codec scratch) to the buffer
+// pool. Callers must not touch buf afterwards. Safe for buffers of
+// any origin; nil and empty buffers are ignored.
+func Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	bufPuts.Add(1)
+	buf = buf[:0]
+	bufPool.Put(&buf)
+}
+
+// PoolStats is a snapshot of the codec buffer pool counters.
+type PoolStats struct {
+	// Hits counts pool-satisfied buffer requests, Misses fresh
+	// allocations, Puts buffers handed back via Recycle.
+	Hits, Misses, Puts int64
+}
+
+// Pools reports the codec buffer pool counters.
+func Pools() PoolStats {
+	return PoolStats{Hits: bufHits.Load(), Misses: bufMisses.Load(), Puts: bufPuts.Load()}
+}
+
 // Raw is the uncompressed frame codec: an 8-byte header (width,
 // height, little-endian uint32) followed by raw RGB. It doubles as the
 // "X Window" baseline's payload format.
@@ -50,9 +100,10 @@ func (Raw) Name() string { return "raw" }
 // Lossless implements FrameCodec.
 func (Raw) Lossless() bool { return true }
 
-// EncodeFrame implements FrameCodec.
+// EncodeFrame implements FrameCodec. The output buffer is drawn from
+// the package pool; callers that finish with it may Recycle it.
 func (Raw) EncodeFrame(f *img.Frame) ([]byte, error) {
-	out := make([]byte, 8+len(f.Pix))
+	out := getBuf(8 + len(f.Pix))
 	binary.LittleEndian.PutUint32(out, uint32(f.W))
 	binary.LittleEndian.PutUint32(out[4:], uint32(f.H))
 	copy(out[8:], f.Pix)
@@ -87,13 +138,17 @@ func (b ByteFrame) Name() string { return b.C.Name() }
 // Lossless implements FrameCodec.
 func (ByteFrame) Lossless() bool { return true }
 
-// EncodeFrame implements FrameCodec.
+// EncodeFrame implements FrameCodec. The raw serialization is
+// per-call scratch (the byte codec does not retain its input), so it
+// cycles through the package pool.
 func (b ByteFrame) EncodeFrame(f *img.Frame) ([]byte, error) {
 	raw, err := Raw{}.EncodeFrame(f)
 	if err != nil {
 		return nil, err
 	}
-	return b.C.Compress(raw)
+	out, err := b.C.Compress(raw)
+	Recycle(raw)
+	return out, err
 }
 
 // DecodeFrame implements FrameCodec.
@@ -102,7 +157,11 @@ func (b ByteFrame) DecodeFrame(data []byte) (*img.Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Raw{}.DecodeFrame(raw)
+	f, err := Raw{}.DecodeFrame(raw)
+	// Raw decoding copies the pixels out, so the decompression
+	// scratch is dead here.
+	Recycle(raw)
+	return f, err
 }
 
 // Chain applies a byte codec to the output of a frame codec — the
@@ -118,13 +177,16 @@ func (c Chain) Name() string { return c.F.Name() + "+" + c.B.Name() }
 // Lossless implements FrameCodec.
 func (c Chain) Lossless() bool { return c.F.Lossless() }
 
-// EncodeFrame implements FrameCodec.
+// EncodeFrame implements FrameCodec. The inner phase-one encoding is
+// scratch owned by the chain, so it cycles through the package pool.
 func (c Chain) EncodeFrame(f *img.Frame) ([]byte, error) {
 	inner, err := c.F.EncodeFrame(f)
 	if err != nil {
 		return nil, err
 	}
-	return c.B.Compress(inner)
+	out, err := c.B.Compress(inner)
+	Recycle(inner)
+	return out, err
 }
 
 // DecodeFrame implements FrameCodec.
@@ -133,7 +195,9 @@ func (c Chain) DecodeFrame(data []byte) (*img.Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.F.DecodeFrame(inner)
+	f, err := c.F.DecodeFrame(inner)
+	Recycle(inner)
+	return f, err
 }
 
 // CodecObservation describes one timed codec call, reported to the

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Codec is the LZO-style byte codec. The zero value is ready to use.
@@ -43,6 +44,14 @@ func hash4(u uint32) uint32 {
 
 func load32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
 
+// tablePool recycles the 256 KiB match dictionary across Compress
+// calls; a fresh per-call array is the dominant allocation of the
+// whole LZO encode path. Pooled tables are re-zeroed on reuse, which
+// costs a memset but spares the allocator and the GC the churn.
+var tablePool = sync.Pool{
+	New: func() any { return new([1 << hashLog]int32) },
+}
+
 // Compress implements compress.ByteCodec. The output starts with the
 // decompressed length as a uvarint so Decompress can allocate exactly
 // once.
@@ -55,8 +64,10 @@ func (Codec) Compress(src []byte) ([]byte, error) {
 		return out, nil
 	}
 
-	var table [1 << hashLog]int32 // position+1 of the last occurrence of each hash
-	anchor := 0                   // start of pending literals
+	table := tablePool.Get().(*[1 << hashLog]int32) // position+1 of the last occurrence of each hash
+	clear(table[:])
+	defer tablePool.Put(table)
+	anchor := 0 // start of pending literals
 	i := 0
 	limit := len(src) - minMatch
 	for i <= limit {

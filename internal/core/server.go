@@ -19,6 +19,7 @@ import (
 	// user-control messages.
 	_ "repro/internal/compress/codecs"
 	"repro/internal/control"
+	"repro/internal/img"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/render"
@@ -395,13 +396,20 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 	var wg sync.WaitGroup
 	for i, p := range pieces {
 		send := func(i int, p pipeline.Piece) {
-			frame := p.Image.ToFrame(s.opt.Background)
+			// Pool-backed conversion: the frame only lives until the
+			// encode below, and SendImage writes synchronously, so
+			// both the frame and the encoded payload recycle at the
+			// end of the call — the per-piece path allocates nothing
+			// at steady state.
+			frame := p.Image.ToFrameInto(img.GetFrameRaw(p.Image.W, p.Image.H), s.opt.Background)
+			defer img.PutFrame(frame)
 			t0 := time.Now()
 			data, err := codec.EncodeFrame(frame)
 			if err != nil {
 				errs[i] = err
 				return
 			}
+			defer compress.Recycle(data)
 			s.stats.EncodeNS.Add(int64(time.Since(t0)))
 			msg := &transport.ImageMsg{
 				FrameID:    id,

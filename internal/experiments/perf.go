@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/img"
+	"repro/internal/render"
+	"repro/internal/tf"
+)
+
+// PerfRenderPoint is one worker-count measurement of the tile-parallel
+// ray caster.
+type PerfRenderPoint struct {
+	Workers    int     `json:"workers"`
+	NsPerFrame int64   `json:"ns_per_frame"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// PerfCodecPoint is one codec's hot-path measurement; throughput is
+// denominated in raw (uncompressed) frame bytes.
+type PerfCodecPoint struct {
+	Codec           string  `json:"codec"`
+	EncodeMBps      float64 `json:"encode_mb_per_s"`
+	DecodeMBps      float64 `json:"decode_mb_per_s"`
+	EncodeNsPerOp   int64   `json:"encode_ns_per_op"`
+	DecodeNsPerOp   int64   `json:"decode_ns_per_op"`
+	EncodeAllocsPer float64 `json:"encode_allocs_per_op"`
+	Ratio           float64 `json:"ratio"`
+}
+
+// PerfResult is the machine-readable output of the perf experiment
+// (written to BENCH_render.json by paperbench -bench-out). The
+// alloc counts are machine-independent and are what cmd/benchdiff
+// gates on; the time-based fields vary with the host and are only
+// compared when explicitly requested.
+type PerfResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	ImageSize  int `json:"image_size"`
+	// Render holds ns/frame at each measured worker count; Speedup is
+	// relative to the Workers=1 row.
+	Render []PerfRenderPoint `json:"render"`
+	// RenderAllocsPerFrame counts heap allocations of one steady-state
+	// serial render into a reused image (LUT classification, no
+	// per-frame tables).
+	RenderAllocsPerFrame float64 `json:"render_allocs_per_frame"`
+	// FramePathAllocsPerFrame counts heap allocations of the full
+	// pooled frame path: render -> pooled quantize -> raw encode ->
+	// recycle, steady state.
+	FramePathAllocsPerFrame float64 `json:"frame_path_allocs_per_frame"`
+	Codecs                  []PerfCodecPoint `json:"codecs"`
+}
+
+// Perf measures the multicore hot path: render scaling across worker
+// counts, steady-state allocations per frame on the pooled path, and
+// per-codec encode/decode throughput.
+func (c *Context) Perf() (*PerfResult, error) {
+	size := 128
+	reps := 8
+	if c.Quick {
+		size = 96
+		reps = 3
+	}
+	v, err := c.volume("jet")
+	if err != nil {
+		return nil, err
+	}
+	tfn, err := tf.Preset("jet")
+	if err != nil {
+		return nil, err
+	}
+	cam, err := render.NewOrbitCamera(v.Dims, 0.6, 0.35, 1.2)
+	if err != nil {
+		return nil, err
+	}
+	res := &PerfResult{GOMAXPROCS: runtime.GOMAXPROCS(0), ImageSize: size}
+
+	workerCounts := []int{1, 2, 4}
+	if n := res.GOMAXPROCS; n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	dst := img.NewRGBA(size, size)
+	renderOnce := func(workers int) error {
+		opt := render.DefaultOptions()
+		opt.Workers = workers
+		_, err := render.RenderRegion(render.WholeVolume(v), v.Bounds(), cam, tfn, opt, dst)
+		return err
+	}
+	var serialNs int64
+	for _, w := range workerCounts {
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if err := renderOnce(w); err != nil {
+				return nil, err
+			}
+			if el := time.Since(t0); el < best {
+				best = el
+			}
+		}
+		p := PerfRenderPoint{Workers: w, NsPerFrame: best.Nanoseconds()}
+		if w == 1 {
+			serialNs = p.NsPerFrame
+		}
+		if serialNs > 0 {
+			p.Speedup = float64(serialNs) / float64(p.NsPerFrame)
+		}
+		res.Render = append(res.Render, p)
+	}
+
+	// Steady-state allocations: warm every pool first, then count the
+	// runtime's malloc delta across frames. Serial render keeps the
+	// number deterministic (the tile engine's per-worker goroutine
+	// bookkeeping would add a few allocs per frame).
+	countAllocs := func(frames int, f func() error) (float64, error) {
+		if err := f(); err != nil { // warm-up
+			return 0, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < frames; i++ {
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(frames), nil
+	}
+	res.RenderAllocsPerFrame, err = countAllocs(reps, func() error { return renderOnce(1) })
+	if err != nil {
+		return nil, err
+	}
+	raw := compress.Raw{}
+	res.FramePathAllocsPerFrame, err = countAllocs(reps, func() error {
+		if err := renderOnce(1); err != nil {
+			return err
+		}
+		f := dst.ToFrameInto(img.GetFrameRaw(size, size), 0)
+		data, err := raw.EncodeFrame(f)
+		img.PutFrame(f)
+		if err != nil {
+			return err
+		}
+		compress.Recycle(data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	frame, err := c.frame("jet", size)
+	if err != nil {
+		return nil, err
+	}
+	rawBytes := float64(len(frame.Pix))
+	for _, name := range compress.Names() {
+		codec, err := compress.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pt := PerfCodecPoint{Codec: name}
+		encBest, decBest := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		var encoded []byte
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			data, err := codec.EncodeFrame(frame)
+			if err != nil {
+				return nil, err
+			}
+			if el := time.Since(t0); el < encBest {
+				encBest = el
+			}
+			if encoded == nil {
+				encoded = append([]byte(nil), data...)
+			}
+			compress.Recycle(data)
+			t0 = time.Now()
+			if _, err := codec.DecodeFrame(encoded); err != nil {
+				return nil, err
+			}
+			if el := time.Since(t0); el < decBest {
+				decBest = el
+			}
+		}
+		encAllocs, err := countAllocs(reps, func() error {
+			data, err := codec.EncodeFrame(frame)
+			if err != nil {
+				return err
+			}
+			compress.Recycle(data)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt.EncodeNsPerOp = encBest.Nanoseconds()
+		pt.DecodeNsPerOp = decBest.Nanoseconds()
+		pt.EncodeMBps = rawBytes / encBest.Seconds() / 1e6
+		pt.DecodeMBps = rawBytes / decBest.Seconds() / 1e6
+		pt.EncodeAllocsPer = encAllocs
+		pt.Ratio = float64(len(encoded)) / rawBytes
+		res.Codecs = append(res.Codecs, pt)
+	}
+
+	c.printf("Perf: multicore hot path (%dx%d jet, GOMAXPROCS=%d)\n", size, size, res.GOMAXPROCS)
+	c.printf("  %-8s %12s %8s\n", "workers", "ns/frame", "speedup")
+	for _, p := range res.Render {
+		c.printf("  %-8d %12d %8.2fx\n", p.Workers, p.NsPerFrame, p.Speedup)
+	}
+	c.printf("  render allocs/frame: %.1f   pooled frame path allocs/frame: %.1f\n",
+		res.RenderAllocsPerFrame, res.FramePathAllocsPerFrame)
+	c.printf("  %-10s %10s %10s %12s %7s\n", "codec", "enc MB/s", "dec MB/s", "enc allocs", "ratio")
+	for _, p := range res.Codecs {
+		c.printf("  %-10s %10.1f %10.1f %12.1f %7.3f\n",
+			p.Codec, p.EncodeMBps, p.DecodeMBps, p.EncodeAllocsPer, p.Ratio)
+	}
+	return res, nil
+}

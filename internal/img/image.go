@@ -136,15 +136,24 @@ func (f *Frame) Equal(o *Frame) bool {
 // because the background blend works directly on premultiplied values:
 // out = rgb + (1-a)*bg.
 func (im *RGBA) ToFrame(bg float32) *Frame {
-	f := NewFrame(im.W, im.H)
+	return im.ToFrameInto(NewFrame(im.W, im.H), bg)
+}
+
+// ToFrameInto is ToFrame writing into dst, which must match the image
+// dimensions; it returns dst. Paired with GetFrame/PutFrame this
+// keeps the per-frame encode path allocation-free.
+func (im *RGBA) ToFrameInto(dst *Frame, bg float32) *Frame {
+	if dst.W != im.W || dst.H != im.H {
+		panic(fmt.Sprintf("img: ToFrameInto %dx%d frame for %dx%d image", dst.W, dst.H, im.W, im.H))
+	}
 	for p, i := 0, 0; p < len(im.Pix); p, i = p+4, i+3 {
 		a := im.Pix[p+3]
 		t := (1 - a) * bg
-		f.Pix[i] = quantize(im.Pix[p] + t)
-		f.Pix[i+1] = quantize(im.Pix[p+1] + t)
-		f.Pix[i+2] = quantize(im.Pix[p+2] + t)
+		dst.Pix[i] = quantize(im.Pix[p] + t)
+		dst.Pix[i+1] = quantize(im.Pix[p+1] + t)
+		dst.Pix[i+2] = quantize(im.Pix[p+2] + t)
 	}
-	return f
+	return dst
 }
 
 func quantize(v float32) byte {

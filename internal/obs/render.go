@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+
+	"repro/internal/compress"
+	"repro/internal/img"
+	"repro/internal/render"
+)
+
+// InstrumentRender routes the renderer's per-tile observations (see
+// render.SetTileObserver) into tile-level metrics:
+//
+//	render_tile_seconds        (histogram: per-tile render time)
+//	render_tiles_total         (tiles completed)
+//	render_tile_rows_total     (scanlines rendered by the tile engine)
+//	render_samples_total       (volume samples taken by parallel tiles)
+//	render_workers             (gauge: worker count of the last render)
+//
+// Passing a nil registry uninstalls the observer.
+func InstrumentRender(reg *Registry) {
+	if reg == nil {
+		render.SetTileObserver(nil)
+		return
+	}
+	tileH := reg.Histogram("render_tile_seconds",
+		"Per-tile wall-clock render time in the parallel ray caster.")
+	tiles := reg.Counter("render_tiles_total",
+		"Scanline tiles completed by the parallel ray caster.")
+	rows := reg.Counter("render_tile_rows_total",
+		"Scanlines rendered by the parallel ray caster.")
+	samples := reg.Counter("render_samples_total",
+		"Volume samples taken by parallel render tiles.")
+	workers := reg.Gauge("render_workers",
+		"Worker count of the most recent parallel render.")
+	render.SetTileObserver(func(o render.TileObservation) {
+		tileH.ObserveDuration(o.Duration)
+		tiles.Inc()
+		rows.Add(int64(o.Y1 - o.Y0))
+		samples.Add(int64(o.Stats.Samples))
+		workers.Set(float64(o.Workers))
+	})
+}
+
+// InstrumentAllocs registers allocation-pressure gauges: Go heap
+// statistics plus the frame-path buffer pool counters of the img and
+// compress packages, so a dashboard can watch allocs/frame fall when
+// the pooled hot path is active.
+func InstrumentAllocs(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.CounterFunc("go_mallocs_total", "Cumulative heap objects allocated (runtime.MemStats.Mallocs).", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.Mallocs)
+	})
+	reg.CounterFunc("img_pool_hits_total", "Image buffer requests served from the img pool.", func() int64 {
+		return img.Pools().Hits
+	})
+	reg.CounterFunc("img_pool_misses_total", "Image buffer requests that fell through to allocation.", func() int64 {
+		return img.Pools().Misses
+	})
+	reg.CounterFunc("img_pool_puts_total", "Image buffers recycled into the img pool.", func() int64 {
+		return img.Pools().Puts
+	})
+	reg.CounterFunc("codec_pool_hits_total", "Codec buffer requests served from the compress pool.", func() int64 {
+		return compress.Pools().Hits
+	})
+	reg.CounterFunc("codec_pool_misses_total", "Codec buffer requests that fell through to allocation.", func() int64 {
+		return compress.Pools().Misses
+	})
+	reg.CounterFunc("codec_pool_puts_total", "Codec buffers recycled into the compress pool.", func() int64 {
+		return compress.Pools().Puts
+	})
+}

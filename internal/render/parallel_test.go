@@ -1,0 +1,146 @@
+package render
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/img"
+	"repro/internal/tf"
+)
+
+// The tentpole invariant of the multicore engine: the parallel tile
+// renderer must be byte-identical to the serial path for every
+// supported option combination — Over/MIP, shading on/off, with and
+// without empty-space acceleration, with and without a differential
+// pixel mask.
+func TestParallelGoldenIdentical(t *testing.T) {
+	v := testVolume(t)
+	cam, err := NewOrbitCamera(v.Dims, 0.6, 0.35, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := accel.Build(v, [3]int{0, 0, 0}, v.Normalize, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const W, H = 48, 48
+	mask := make([]bool, W*H)
+	for i := range mask {
+		// A deliberately irregular mask: sparse rows and a dense block.
+		mask[i] = i%7 == 0 || (i/W > H/2 && i%3 != 0)
+	}
+	for _, mode := range []Mode{ModeOver, ModeMIP} {
+		for _, shading := range []bool{false, true} {
+			for _, useAccel := range []bool{false, true} {
+				for _, useMask := range []bool{false, true} {
+					name := fmt.Sprintf("mode=%d/shading=%v/accel=%v/mask=%v", mode, shading, useAccel, useMask)
+					t.Run(name, func(t *testing.T) {
+						opt := DefaultOptions()
+						opt.Mode = mode
+						opt.Shading = shading
+						if useAccel {
+							opt.Accel = grid
+						}
+						if useMask {
+							opt.PixelMask = mask
+						}
+						serial := opt
+						serial.Workers = 1
+						ref := img.NewRGBA(W, H)
+						refSt, err := RenderRegion(WholeVolume(v), v.Bounds(), cam, tf.Jet(), serial, ref)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, workers := range []int{2, 3, 4, 7} {
+							par := opt
+							par.Workers = workers
+							got := img.NewRGBA(W, H)
+							gotSt, err := RenderRegion(WholeVolume(v), v.Bounds(), cam, tf.Jet(), par, got)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for i := range ref.Pix {
+								if ref.Pix[i] != got.Pix[i] {
+									t.Fatalf("workers=%d: pixel float %d differs: %v vs %v", workers, i, got.Pix[i], ref.Pix[i])
+								}
+							}
+							if gotSt != refSt {
+								t.Fatalf("workers=%d: stats %+v != serial %+v", workers, gotSt, refSt)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	v := testVolume(t)
+	cam, _ := NewOrbitCamera(v.Dims, 0.4, 0.3, 1.8)
+	opt := DefaultOptions()
+	opt.Workers = -1
+	if _, _, err := Render(v, cam, tf.Jet(), opt, 16, 16); err == nil {
+		t.Fatal("want error for negative workers")
+	}
+	// Workers 0 clamps to GOMAXPROCS and renders normally.
+	opt.Workers = 0
+	if _, st, err := Render(v, cam, tf.Jet(), opt, 16, 16); err != nil || st.Rays == 0 {
+		t.Fatalf("workers=0 render: %v stats %+v", err, st)
+	}
+	// More workers than scanlines must not deadlock, drop rows, or
+	// diverge from the serial result.
+	opt.Workers = 1
+	ref, refSt, err := Render(v, cam, tf.Jet(), opt, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 64
+	im, st, err := Render(v, cam, tf.Jet(), opt, 24, 8)
+	if err != nil || st != refSt {
+		t.Fatalf("workers>rows render: %v stats %+v want %+v", err, st, refSt)
+	}
+	for i := range ref.Pix {
+		if im.Pix[i] != ref.Pix[i] {
+			t.Fatalf("pixel float %d differs with worker surplus", i)
+		}
+	}
+}
+
+// The tile observer must see every scanline exactly once and observe
+// the configured worker count.
+func TestTileObserverCoverage(t *testing.T) {
+	v := testVolume(t)
+	cam, _ := NewOrbitCamera(v.Dims, 0.5, 0.3, 1.6)
+	const H = 33
+	var mu sync.Mutex
+	seen := make([]int, H)
+	var dur time.Duration
+	SetTileObserver(func(o TileObservation) {
+		mu.Lock()
+		defer mu.Unlock()
+		for y := o.Y0; y < o.Y1; y++ {
+			seen[y]++
+		}
+		dur += o.Duration
+	})
+	defer SetTileObserver(nil)
+	opt := DefaultOptions()
+	opt.Workers = 4
+	if _, _, err := Render(v, cam, tf.Jet(), opt, 32, H); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for y, n := range seen {
+		if n != 1 {
+			t.Fatalf("row %d rendered %d times", y, n)
+		}
+	}
+	if dur <= 0 {
+		t.Fatal("observer saw no tile durations")
+	}
+}

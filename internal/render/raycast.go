@@ -3,6 +3,7 @@ package render
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/accel"
 	"repro/internal/img"
@@ -28,6 +29,17 @@ const (
 type Options struct {
 	// Step is the sampling distance along the ray in grid units.
 	Step float64
+	// Workers is the number of goroutines ray casting scanline tiles.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path;
+	// negative values are rejected by validation. Output is
+	// bit-identical for every worker count — tiles partition the
+	// image and each pixel is computed by exactly one worker with the
+	// same arithmetic as the serial loop. PixelMask differential
+	// rendering composes with parallel tiles: masked-off pixels are
+	// skipped inside each tile, and the dynamic tile queue keeps
+	// workers busy when the mask (or early termination) makes some
+	// tiles nearly free.
+	Workers int
 	// Shading enables gradient (Phong diffuse) shading (ModeOver
 	// only).
 	Shading bool
@@ -66,6 +78,12 @@ func (o *Options) normalize() error {
 	}
 	if o.TerminationAlpha < 0 || o.TerminationAlpha > 1 {
 		return fmt.Errorf("render: termination alpha %v out of [0,1]", o.TerminationAlpha)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("render: workers %d must not be negative (0 selects GOMAXPROCS)", o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return nil
 }
@@ -117,11 +135,9 @@ func RenderRegion(s Sampler, region vol.Box, cam *Camera, t *tf.TF, opt Options,
 			return Stats{}, err
 		}
 	}
-	var st Stats
-	light := opt.Light.Normalized()
-	headlight := opt.Light == (Vec3{})
-	w, h := dst.W, dst.H
-	termA := opt.TerminationAlpha
+	if opt.PixelMask != nil && len(opt.PixelMask) != dst.W*dst.H {
+		return Stats{}, fmt.Errorf("render: pixel mask of %d entries for %dx%d image", len(opt.PixelMask), dst.W, dst.H)
+	}
 	// Resolve the accelerator's per-cell transparency once for this
 	// (grid, transfer function) pair; the per-sample check is then a
 	// single indexed load.
@@ -129,27 +145,85 @@ func RenderRegion(s Sampler, region vol.Box, cam *Camera, t *tf.TF, opt Options,
 	if opt.Accel != nil {
 		emptyCell = opt.Accel.EmptyMask(t.MaxAlpha)
 	}
-	if opt.PixelMask != nil && len(opt.PixelMask) != w*h {
-		return st, fmt.Errorf("render: pixel mask of %d entries for %dx%d image", len(opt.PixelMask), w, h)
+	rr := &rowRenderer{
+		s:         s,
+		region:    region,
+		cam:       cam,
+		opt:       &opt,
+		lut:       t.LUT(),
+		emptyCell: emptyCell,
+		light:     opt.Light.Normalized(),
+		headlight: opt.Light == (Vec3{}),
+		dst:       dst,
 	}
-	for py := 0; py < h; py++ {
+	if opt.Workers > 1 && dst.H > 1 {
+		return renderTiled(rr, opt.Workers), nil
+	}
+	return rr.renderRows(0, dst.H), nil
+}
+
+// rowRenderer carries the per-call invariants of one RenderRegion
+// invocation so a span of scanlines can be rendered independently —
+// the unit of work of both the serial path and the parallel tile
+// queue. All fields are read-only during rendering; dst is shared but
+// each pixel is written by exactly one renderRows call.
+type rowRenderer struct {
+	s         Sampler
+	region    vol.Box
+	cam       *Camera
+	opt       *Options
+	// lut is the transfer function's baked classification table,
+	// indexed directly so the inner sampling loop is a flat load
+	// instead of a method call (see tf.LUT — identical arithmetic to
+	// tf.Classify, so results are bit-identical).
+	lut       []float32
+	emptyCell []bool
+	light     Vec3
+	headlight bool
+	dst       *img.RGBA
+}
+
+// lutScale converts a clamped normalized value to a LUT index.
+const lutScale = float32(tf.LUTSize - 1)
+
+// classify replicates tf.Classify against the captured table.
+func (rr *rowRenderer) classify(v float32) (r, g, b, a float32) {
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	i := int(v*lutScale+0.5) * 4
+	return rr.lut[i], rr.lut[i+1], rr.lut[i+2], rr.lut[i+3]
+}
+
+// renderRows ray-casts scanlines [y0,y1) of the target image. It is
+// the whole hot path: the serial renderer calls it once with the full
+// range, the parallel renderer once per tile.
+func (rr *rowRenderer) renderRows(y0, y1 int) Stats {
+	var st Stats
+	s, opt, dst, cam := rr.s, rr.opt, rr.dst, rr.cam
+	w, h := dst.W, dst.H
+	termA := opt.TerminationAlpha
+	emptyCell := rr.emptyCell
+	for py := y0; py < y1; py++ {
 		for px := 0; px < w; px++ {
 			if opt.PixelMask != nil && !opt.PixelMask[py*w+px] {
 				continue
 			}
 			orig, dir := cam.Ray(px, py, w, h)
-			tn, tfar, ok := IntersectBox(orig, dir, region)
+			tn, tfar, ok := IntersectBox(orig, dir, rr.region)
 			if !ok || tfar <= tn {
 				continue
 			}
 			st.Rays++
 			if opt.Mode == ModeMIP {
-				mipRay(s, t, orig, dir, tn, tfar, opt.Step, &st, dst, py*w+px)
+				rr.mipRay(orig, dir, tn, tfar, &st, py*w+px)
 				continue
 			}
 			var r, g, b, a float32
-			ld := light
-			if headlight {
+			ld := rr.light
+			if rr.headlight {
 				ld = dir.Scale(-1)
 			}
 			// Jitter-free fixed stepping keeps partial images from
@@ -182,7 +256,7 @@ func RenderRegion(s Sampler, region vol.Box, cam *Camera, t *tf.TF, opt Options,
 				}
 				raw := s.Sample(p.X, p.Y, p.Z)
 				st.Samples++
-				cr, cg, cb, ca := t.Classify(s.Normalize(raw))
+				cr, cg, cb, ca := rr.classify(s.Normalize(raw))
 				if ca <= 0 {
 					continue
 				}
@@ -224,12 +298,13 @@ func RenderRegion(s Sampler, region vol.Box, cam *Camera, t *tf.TF, opt Options,
 			}
 		}
 	}
-	return st, nil
+	return st
 }
 
 // mipRay marches one maximum-intensity-projection ray and writes the
 // classified maximum into pixel index pix of dst.
-func mipRay(s Sampler, t *tf.TF, orig, dir Vec3, tn, tfar, step float64, st *Stats, dst *img.RGBA, pix int) {
+func (rr *rowRenderer) mipRay(orig, dir Vec3, tn, tfar float64, st *Stats, pix int) {
+	s, step, dst := rr.s, rr.opt.Step, rr.dst
 	maxV := float32(-1)
 	k0 := math.Ceil(tn / step)
 	for k := k0; ; k++ {
@@ -247,7 +322,7 @@ func mipRay(s Sampler, t *tf.TF, orig, dir Vec3, tn, tfar, step float64, st *Sta
 	if maxV < 0 {
 		return
 	}
-	cr, cg, cb, ca := t.Classify(maxV)
+	cr, cg, cb, ca := rr.classify(maxV)
 	if ca <= 0 {
 		return
 	}

@@ -77,6 +77,11 @@ func Calibrate(opt CalibrationOptions) (*Calibration, error) {
 		return nil, err
 	}
 	ropt := render.DefaultOptions()
+	// The calibration models one 1999-era processor: per-sample cost
+	// must come from a single-threaded render, not the multicore tile
+	// engine, or the simulated per-node render times shrink by the
+	// host's core count.
+	ropt.Workers = 1
 
 	// Min-of-3 timing: calibration may run alongside other work (e.g.
 	// parallel test packages), and the minimum is the least

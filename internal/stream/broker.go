@@ -87,6 +87,10 @@ type client struct {
 	// wmu serializes conn writes (frame sender vs. pong replies).
 	wmu sync.Mutex
 
+	// marshalBuf is the sender goroutine's reusable wire-marshal
+	// scratch; only sender touches it, so no locking.
+	marshalBuf []byte
+
 	framesSent atomic.Int64
 	bytesSent  atomic.Int64
 }
@@ -552,11 +556,14 @@ func (b *Broker) sender(c *client) {
 			Codec: point.Family(),
 			Data:  data,
 		}
-		payload, err := im.Marshal()
+		// Reuse the sender's scratch: WriteMessage below completes
+		// before the next iteration rewrites it.
+		payload, err := im.AppendTo(c.marshalBuf[:0])
 		if err != nil {
 			b.log.Warnf("marshal frame %d: %v", sf.ID, err)
 			continue
 		}
+		c.marshalBuf = payload
 		c.sentMu.Lock()
 		c.sent[sf.ID] = time.Now()
 		// Bound the in-flight map: unacked frames older than the

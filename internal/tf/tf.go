@@ -168,6 +168,15 @@ func (t *TF) lutIndex(v float32) int {
 	return int(v*float32(LUTSize-1) + 0.5)
 }
 
+// LUT exposes the baked classification table: LUTSize entries of
+// premultiplied-input RGBA, indexed by round(v*(LUTSize-1)) after
+// clamping v into [0,1] — exactly what Classify computes. The slice is
+// shared and must be treated as read-only. A TF's table never changes
+// after New; pushing a new transfer function builds a new TF (and a
+// new table), which is the invalidation model the renderer's
+// flat-lookup hot path relies on.
+func (t *TF) LUT() []float32 { return t.lut }
+
 // Classify maps a normalized value through the baked lookup table.
 func (t *TF) Classify(v float32) (r, g, b, a float32) {
 	if v < 0 {

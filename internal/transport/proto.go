@@ -274,10 +274,18 @@ var ErrTruncated = errors.New("transport: truncated payload")
 
 // Marshal serializes the image message.
 func (m *ImageMsg) Marshal() ([]byte, error) {
+	return m.AppendTo(make([]byte, 0, 21+len(m.Codec)+len(m.Data)))
+}
+
+// AppendTo serializes the image message into out's spare capacity,
+// growing it as needed, and returns the extended slice. Senders on a
+// per-frame hot path keep one scratch buffer and pass it back with
+// out[:0] each frame, making the marshal allocation-free at steady
+// state.
+func (m *ImageMsg) AppendTo(out []byte) ([]byte, error) {
 	if len(m.Codec) > 255 {
 		return nil, fmt.Errorf("transport: codec name too long")
 	}
-	out := make([]byte, 0, 21+len(m.Codec)+len(m.Data))
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], m.FrameID)
 	out = append(out, b[:]...)
