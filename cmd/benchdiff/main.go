@@ -42,6 +42,16 @@ func main() {
 		fatal(err)
 	}
 
+	// A baseline captured on a single-core host (GOMAXPROCS=1, visible
+	// as flat worker scaling) carries no information about the tile
+	// engine's parallelism: its multi-worker timings are one core
+	// time-slicing, not a standard to regress against.
+	baseSolo := singleCore(base)
+	if baseSolo {
+		fmt.Printf("benchdiff: warning: baseline %s was captured at GOMAXPROCS=%d with flat worker scaling (%s); skipping multi-worker timing comparisons\n",
+			*baselinePath, base.GOMAXPROCS, scalingSummary(base))
+	}
+
 	var failures []string
 	fail := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
@@ -89,6 +99,11 @@ func main() {
 			baseNs[p.Workers] = p.NsPerFrame
 		}
 		for _, p := range cur.Render {
+			if baseSolo && p.Workers > 1 {
+				// Multi-worker baseline numbers from a 1-core capture
+				// are not comparable; the 1-worker row still gates.
+				continue
+			}
 			if bNs, ok := baseNs[p.Workers]; ok && float64(p.NsPerFrame) > float64(bNs)*(1+*tol) {
 				fail("render ns/frame at %d workers: %d -> %d", p.Workers, bNs, p.NsPerFrame)
 			}
@@ -107,6 +122,9 @@ func main() {
 	}
 
 	fmt.Printf("benchdiff: baseline %s vs current %s (tol %.0f%%)\n", *baselinePath, *currentPath, *tol*100)
+	if baseSolo {
+		fmt.Println("  baseline annotated single-core: worker-scaling comparison skipped")
+	}
 	fmt.Printf("  render allocs/frame %.1f -> %.1f, frame path %.1f -> %.1f\n",
 		base.RenderAllocsPerFrame, cur.RenderAllocsPerFrame,
 		base.FramePathAllocsPerFrame, cur.FramePathAllocsPerFrame)
@@ -121,6 +139,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")
+}
+
+// singleCore reports whether a perf capture came from a single-core
+// host: GOMAXPROCS recorded as 1, or — for captures predating the
+// field — flat worker scaling (no multi-worker point reaching even a
+// 1.15x speedup).
+func singleCore(res *experiments.PerfResult) bool {
+	if res.GOMAXPROCS == 1 {
+		return true
+	}
+	if res.GOMAXPROCS > 1 {
+		return false
+	}
+	multi := false
+	for _, p := range res.Render {
+		if p.Workers > 1 {
+			multi = true
+			if p.Speedup >= 1.15 {
+				return false
+			}
+		}
+	}
+	return multi
+}
+
+// scalingSummary renders a capture's worker-scaling curve for the
+// single-core warning, e.g. "1w 1.00x, 4w 1.02x".
+func scalingSummary(res *experiments.PerfResult) string {
+	out := ""
+	for i, p := range res.Render {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%dw %.2fx", p.Workers, p.Speedup)
+	}
+	return out
 }
 
 func load(path string) (*experiments.PerfResult, error) {

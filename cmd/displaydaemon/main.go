@@ -10,6 +10,18 @@
 // is paced to its link with a bounded drop-oldest queue.
 //
 //	displaydaemon -listen 127.0.0.1:7420 -adaptive -target 200ms
+//
+// With -relay-parent the daemon joins a relay tree as an edge or
+// interior node: it consumes frames from the parent daemon like a
+// display client (acking frames so the parent's estimator sees this
+// link) and re-serves them through its own adaptive broker, encoding
+// once per distinct downstream operating point. If the parent dies the
+// node re-parents to the next address in the chain (-relay-fallback,
+// repeatable) with bounded backoff, deduplicating any frames the new
+// parent replays.
+//
+//	displaydaemon -listen :7421 -relay-parent render-site:7420 \
+//	    -relay-fallback render-site:7419 -relay-name edge-tokyo
 package main
 
 import (
@@ -21,9 +33,19 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/relay"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7420", "listen address")
@@ -36,7 +58,22 @@ func main() {
 	cacheFrames := flag.Int("cache", 4, "adaptive: frames retained in the encode fan-out cache")
 	verbose := flag.Bool("v", false, "log connections and drops")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
+	relayParent := flag.String("relay-parent", "", "run as a relay-tree node attached to this parent daemon")
+	relayName := flag.String("relay-name", "", "relay: node name in status output (default the listen address)")
+	var relayFallbacks stringList
+	flag.Var(&relayFallbacks, "relay-fallback", "relay: re-parent target after the parent dies (repeatable; order = preference)")
 	flag.Parse()
+
+	if *relayParent != "" {
+		runRelay(*listen, *relayParent, relayFallbacks, *relayName,
+			stream.Config{Target: *target, QueueDepth: *queue, CacheFrames: *cacheFrames},
+			*heartbeat, *peerTimeout, *verbose, *debugAddr)
+		return
+	}
+	if len(relayFallbacks) > 0 {
+		fmt.Fprintln(os.Stderr, "displaydaemon: -relay-fallback requires -relay-parent")
+		os.Exit(2)
+	}
 
 	if *adaptive {
 		runAdaptive(*listen, *target, *queue, *cacheFrames, *verbose, *debugAddr)
@@ -98,6 +135,60 @@ func main() {
 		fmt.Printf("evicted %d dead peers (heartbeat)\n", n)
 	}
 	d.Close()
+}
+
+// runRelay joins a relay tree: downstream adaptive broker on listen,
+// upstream session against parent with the fallback chain as re-parent
+// targets.
+func runRelay(listen, parent string, fallbacks []string, name string, streamCfg stream.Config, heartbeat, peerTimeout time.Duration, verbose bool, debugAddr string) {
+	if name == "" {
+		name = listen
+	}
+	if verbose {
+		streamCfg.Logf = log.Printf
+	}
+	cfg := relay.Config{
+		Name:        name,
+		Parents:     append([]string{parent}, fallbacks...),
+		Stream:      streamCfg,
+		Heartbeat:   heartbeat,
+		PeerTimeout: peerTimeout,
+	}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	n, err := relay.ListenAndServe(listen, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "displaydaemon:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("relay node %q listening on %s, parent chain %v\n", name, n.Addr(), cfg.Parents)
+	if debugAddr != "" {
+		reg := obs.NewRegistry()
+		n.Instrument(reg)
+		obs.InstrumentCodecs(reg)
+		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{
+			Registry: reg,
+			Status: func() any {
+				return map[string]any{"mode": "relay", "node": n.Status()}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "displaydaemon:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := n.Status()
+	fmt.Printf("\nrelay %q: %d frames in (%d dup-dropped), %d reparents, %d failed parents, %d encodes, %d frames out (%d bytes)\n",
+		st.Name, st.FramesIn, st.DupDropped, st.Reparents, st.FailedParents,
+		st.Encodes, st.FramesOut, st.BytesOut)
+	n.Close()
 }
 
 func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, verbose bool, debugAddr string) {

@@ -9,7 +9,8 @@
 //	                               # in a Perfetto/chrome://tracing viewer
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
-// datasets, hybrid, trace, pipeline, adaptive, faults, perf, all.
+// datasets, hybrid, trace, pipeline, adaptive, faults, perf, relay,
+// all.
 //
 //	paperbench -exp perf -bench-out BENCH_render.json
 //	                               # multicore hot-path benchmark; the
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
@@ -52,8 +53,9 @@ func main() {
 		"adaptive": wrap(ctx.Adaptive),
 		"faults":   wrap(ctx.Faults),
 		"perf":     wrap(ctx.Perf),
+		"relay":    wrap(ctx.Relay),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay"}
 
 	var todo []string
 	switch *exp {

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/display"
+	"repro/internal/img"
+	"repro/internal/metrics"
+	"repro/internal/relay"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/transport"
+	"repro/internal/wan"
+)
+
+// RelayScenario is one topology's outcome in the relay fan-out
+// experiment (analytic model, thousands of viewers).
+type RelayScenario struct {
+	Name    string `json:"name"`
+	Tiers   int    `json:"tiers"`
+	FanOut  int    `json:"fan_out"`
+	Viewers int    `json:"viewers"`
+	// RootEgressMB is the whole animation's bytes leaving the root —
+	// the wide-area broadcast cost.
+	RootEgressMB float64 `json:"root_egress_mb"`
+	TotalMB      float64 `json:"total_mb"`
+	// EgressReduction is flat-root-egress / this-root-egress (1.0 for
+	// the flat baseline itself).
+	EgressReduction float64 `json:"egress_reduction_vs_flat"`
+	// TierNodes / TierEncodesPerFrame index 0 = root, last = edge.
+	TierNodes           []int   `json:"tier_nodes"`
+	TierEncodesPerFrame []int64 `json:"tier_encodes_per_frame"`
+	P50AgeMs            float64 `json:"p50_frame_age_ms"`
+	P99AgeMs            float64 `json:"p99_frame_age_ms"`
+	MaxAgeMs            float64 `json:"max_frame_age_ms"`
+}
+
+// RelayLive grounds the model with a real loopback tree: the same
+// viewer count attached flat to one broker vs through a small 2-tier
+// relay tree, comparing actual root egress bytes.
+type RelayLive struct {
+	Viewers     int     `json:"viewers"`
+	Frames      int     `json:"frames"`
+	FlatRootKB  float64 `json:"flat_root_kb"`
+	TreeRootKB  float64 `json:"tree_root_kb"`
+	Reduction   float64 `json:"reduction"`
+	TierEncodes []int64 `json:"tree_tier_encodes"`
+}
+
+// RelayResult is the full relay fan-out evaluation.
+type RelayResult struct {
+	Viewers    int             `json:"viewers"`
+	FanOut     int             `json:"fan_out"`
+	Frames     int             `json:"frames"`
+	FrameBytes int             `json:"frame_bytes"`
+	Scenarios  []RelayScenario `json:"scenarios"`
+	// ThreeTierReduction vs FanOutTarget is the acceptance pair: the
+	// 3-tier tree must cut root egress by at least the tree fan-out.
+	ThreeTierReduction float64    `json:"three_tier_reduction"`
+	FanOutTarget       int        `json:"fan_out_target"`
+	Live               *RelayLive `json:"live"`
+}
+
+// Relay evaluates relay-tree fan-out for wide-area broadcast: flat vs
+// 2-tier vs 3-tier trees at equal viewer count, on the analytic model
+// sized from a real encoded frame, plus a small live loopback tree for
+// grounding.
+func (c *Context) Relay() (*RelayResult, error) {
+	size := 512
+	viewers, fanOut, frames := 2000, 8, 100
+	liveViewers, liveFrames := 12, 15
+	if c.Quick {
+		size = 256
+		viewers, fanOut, frames = 50, 4, 20
+		liveViewers, liveFrames = 6, 10
+	}
+	base, err := c.frame("jet", size)
+	if err != nil {
+		return nil, err
+	}
+	src := detailFrame(base, 24)
+	jpeg, err := compress.ByName("jpeg")
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := jpeg.EncodeFrame(src)
+	if err != nil {
+		return nil, err
+	}
+	frameBytes := len(encoded)
+
+	mix := []wan.Profile{wan.LAN(), wan.NASAUCD(), wan.JapanUCD()}
+	model := func(tiers int) (sim.RelayTreeResult, error) {
+		return sim.SimulateRelayTree(sim.RelayTreeConfig{
+			Viewers:    viewers,
+			Mix:        mix,
+			Tiers:      tiers,
+			FanOut:     fanOut,
+			FrameBytes: frameBytes,
+			Frames:     frames,
+			Target:     120 * time.Millisecond,
+		})
+	}
+
+	res := &RelayResult{
+		Viewers: viewers, FanOut: fanOut, Frames: frames, FrameBytes: frameBytes,
+		FanOutTarget: fanOut,
+	}
+	var flatEgress int64
+	for _, sc := range []struct {
+		name  string
+		tiers int
+	}{{"flat", 1}, {"2-tier", 2}, {"3-tier", 3}} {
+		r, err := model(sc.tiers)
+		if err != nil {
+			return nil, fmt.Errorf("relay model %s: %w", sc.name, err)
+		}
+		if sc.tiers == 1 {
+			flatEgress = r.RootEgressBytes
+		}
+		row := RelayScenario{
+			Name: sc.name, Tiers: sc.tiers, Viewers: viewers,
+			RootEgressMB: float64(r.RootEgressBytes) / 1e6,
+			TotalMB:      float64(r.TotalBytes) / 1e6,
+			P50AgeMs:     r.P50FrameAge.Seconds() * 1e3,
+			P99AgeMs:     r.P99FrameAge.Seconds() * 1e3,
+			MaxAgeMs:     r.MaxFrameAge.Seconds() * 1e3,
+		}
+		if sc.tiers > 1 {
+			row.FanOut = fanOut
+		}
+		for _, ts := range r.TierStats {
+			row.TierNodes = append(row.TierNodes, ts.Nodes)
+			row.TierEncodesPerFrame = append(row.TierEncodesPerFrame, ts.EncodesPerFrame)
+		}
+		if r.RootEgressBytes > 0 {
+			row.EgressReduction = float64(flatEgress) / float64(r.RootEgressBytes)
+		}
+		if sc.tiers == 3 {
+			res.ThreeTierReduction = row.EgressReduction
+		}
+		res.Scenarios = append(res.Scenarios, row)
+	}
+
+	live, err := c.relayLive(liveViewers, liveFrames)
+	if err != nil {
+		return nil, fmt.Errorf("relay live run: %w", err)
+	}
+	res.Live = live
+
+	c.printRelay(res)
+	return res, nil
+}
+
+// relayLive streams a short animation to the same viewer population
+// twice — flat against one broker, then through a 2-tier fan-out-2
+// relay tree — and compares measured root egress.
+func (c *Context) relayLive(nViewers, frames int) (*RelayLive, error) {
+	runFlat := func() (int64, error) {
+		b, err := stream.ListenAndServe("127.0.0.1:0", stream.Config{Target: 60 * time.Millisecond})
+		if err != nil {
+			return 0, err
+		}
+		defer b.Close()
+		return streamToViewers([]string{b.Addr().String()}, b.Addr().String(), nViewers, frames,
+			func() int64 { return b.Stats().BytesOut.Load() })
+	}
+	flatBytes, err := runFlat()
+	if err != nil {
+		return nil, err
+	}
+
+	tree, err := relay.BuildTree(relay.TreeSpec{
+		Tiers: 2, FanOut: 2,
+		Stream: stream.Config{Target: 60 * time.Millisecond},
+		Retry:  transport.RetryPolicy{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond, Factor: 2, MaxAttempts: 8},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tree.Close()
+	treeBytes, err := streamToViewers(tree.EdgeAddrs(), tree.Root.Addr().String(), nViewers, frames,
+		func() int64 { return tree.Root.Stats().BytesOut.Load() })
+	if err != nil {
+		return nil, err
+	}
+
+	live := &RelayLive{
+		Viewers: nViewers, Frames: frames,
+		FlatRootKB:  float64(flatBytes) / 1e3,
+		TreeRootKB:  float64(treeBytes) / 1e3,
+		TierEncodes: tree.TierEncodes(),
+	}
+	if treeBytes > 0 {
+		live.Reduction = float64(flatBytes) / float64(treeBytes)
+	}
+	return live, nil
+}
+
+// streamToViewers attaches nViewers across the edge addresses
+// round-robin, streams a small animation into rootAddr, waits until
+// every viewer displayed it, and returns rootBytes().
+func streamToViewers(edges []string, rootAddr string, nViewers, frames int, rootBytes func() int64) (int64, error) {
+	var viewers []*display.Viewer
+	defer func() {
+		for _, v := range viewers {
+			v.Close()
+		}
+	}()
+	for i := 0; i < nViewers; i++ {
+		ep, err := transport.Dial(edges[i%len(edges)], transport.RoleDisplay, nil)
+		if err != nil {
+			return 0, err
+		}
+		v := display.NewViewer(ep)
+		viewers = append(viewers, v)
+		go func() {
+			for range v.Frames() {
+			}
+		}()
+	}
+	rend, err := transport.Dial(rootAddr, transport.RoleRenderer, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer rend.Close()
+
+	side := 64
+	for id := 0; id < frames; id++ {
+		f := testPattern(side, id)
+		data, err := compress.Raw{}.EncodeFrame(f)
+		if err != nil {
+			return 0, err
+		}
+		im := &transport.ImageMsg{
+			FrameID:    uint32(id),
+			PieceCount: 1,
+			X1:         uint16(side), Y1: uint16(side),
+			W: uint16(side), H: uint16(side),
+			Codec: "raw",
+			Data:  data,
+		}
+		if err := rend.SendImage(im); err != nil {
+			return 0, fmt.Errorf("renderer send %d: %w", id, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, v := range viewers {
+			if v.Stats().Frames < frames {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for i, v := range viewers {
+		if got := v.Stats().Frames; got < frames {
+			return 0, fmt.Errorf("viewer %d displayed %d/%d frames", i, got, frames)
+		}
+	}
+	return rootBytes(), nil
+}
+
+func (c *Context) printRelay(res *RelayResult) {
+	c.printf("Relay-tree fan-out: %d viewers on mixed lan/nasa-ucd/japan-ucd links, %d-frame animation, %d-byte frames, fan-out %d\n",
+		res.Viewers, res.Frames, res.FrameBytes, res.FanOut)
+	t := metrics.NewTable("topology", "nodes/tier", "root-egress-MB", "reduction", "encodes/frame-per-tier", "p50-ms", "p99-ms", "max-ms")
+	for _, sc := range res.Scenarios {
+		t.Row(sc.Name, joinInts(sc.TierNodes), fmt.Sprintf("%.1f", sc.RootEgressMB),
+			fmt.Sprintf("%.1fx", sc.EgressReduction), joinInt64s(sc.TierEncodesPerFrame),
+			fmt.Sprintf("%.1f", sc.P50AgeMs), fmt.Sprintf("%.1f", sc.P99AgeMs), fmt.Sprintf("%.1f", sc.MaxAgeMs))
+	}
+	c.printf("%s", t.String())
+	c.printf("3-tier root-egress reduction: %.1fx (acceptance target >= %dx fan-out)\n",
+		res.ThreeTierReduction, res.FanOutTarget)
+	if res.Live != nil {
+		c.printf("live loopback grounding, %d viewers, 2-tier/fan-out-2 tree: root egress %.0f KB vs flat %.0f KB (%.1fx less), tier encodes %s\n\n",
+			res.Live.Viewers, res.Live.TreeRootKB, res.Live.FlatRootKB, res.Live.Reduction, joinInt64s(res.Live.TierEncodes))
+	}
+}
+
+// testPattern is a deterministic viewer-visible frame for the live run.
+func testPattern(side, seed int) *img.Frame {
+	f := img.NewFrame(side, side)
+	for i := range f.Pix {
+		f.Pix[i] = byte(seed*31 + i)
+	}
+	return f
+}
+
+func joinInts(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, "/")
+}
+
+func joinInt64s(v []int64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/wan"
+)
+
+// RelayTreeConfig describes one relay-tree broadcast scenario for the
+// analytic model in SimulateRelayTree: Viewers display clients spread
+// round-robin over the Mix of region link profiles, served either
+// directly by the root daemon (Tiers=1, the flat baseline) or through a
+// tree of relay daemons (Tiers-1 relay levels, each interior node
+// fanning out to FanOut children).
+//
+// The model's placement assumption is the CDN one: each tier-1 relay
+// sits inside one region, so the wide-area link of that region is
+// crossed once per tier-1 relay instead of once per viewer, and every
+// hop below tier 1 — relay to relay, relay to viewer — rides the
+// intra-site LAN profile. Per-link adaptive quality is modelled by a
+// rung ladder of encoded-size fractions: each link carries the largest
+// rung whose transfer fits the Target budget.
+type RelayTreeConfig struct {
+	// Viewers is the display population.
+	Viewers int
+	// Mix holds the region link profiles; viewer i belongs to region
+	// i%len(Mix). Trees need FanOut >= len(Mix) so every region gets at
+	// least one tier-1 relay.
+	Mix []wan.Profile
+	// Tiers counts daemon levels including the root (1 = flat).
+	Tiers int
+	// FanOut is each interior node's child count (relay levels only;
+	// the edge level absorbs however many viewers remain).
+	FanOut int
+	// FrameBytes is the full-quality encoded frame size (rung 1.0).
+	FrameBytes int
+	// Frames is the animation length.
+	Frames int
+	// Target is the per-link frame time budget that picks each link's
+	// quality rung.
+	Target time.Duration
+	// EncodeTime and DecodeTime are the per-frame codec costs at one
+	// operating point.
+	EncodeTime time.Duration
+	DecodeTime time.Duration
+	// NodeBandwidth is each daemon's NIC serialization rate in bytes/s:
+	// a node fanning a frame to C children pushes their copies out one
+	// after another, so child k waits behind the first k copies. This
+	// is the term that sinks the flat topology at large viewer counts.
+	NodeBandwidth float64
+	// LAN is the intra-site profile for hops below tier 1.
+	LAN wan.Profile
+}
+
+// rungs is the modelled quality ladder: encoded-size fractions of the
+// full-quality frame, highest first (mirrors the stream ladder's
+// jpeg+lzo@85 … jpeg@15 size spread).
+var rungs = []float64{1.0, 0.65, 0.4, 0.25, 0.12}
+
+func (c RelayTreeConfig) withDefaults() RelayTreeConfig {
+	if c.Frames <= 0 {
+		c.Frames = 1
+	}
+	if c.Target <= 0 {
+		c.Target = 100 * time.Millisecond
+	}
+	if c.EncodeTime <= 0 {
+		c.EncodeTime = 2 * time.Millisecond
+	}
+	if c.DecodeTime <= 0 {
+		c.DecodeTime = time.Millisecond
+	}
+	if c.NodeBandwidth <= 0 {
+		c.NodeBandwidth = 125e6 // 1 Gbit/s NIC
+	}
+	if c.LAN.Name == "" {
+		c.LAN = wan.LAN()
+	}
+	return c
+}
+
+func (c RelayTreeConfig) validate() error {
+	if c.Viewers < 1 {
+		return fmt.Errorf("sim: relay tree needs viewers, have %d", c.Viewers)
+	}
+	if len(c.Mix) == 0 {
+		return fmt.Errorf("sim: relay tree needs at least one link profile")
+	}
+	if c.Tiers < 1 {
+		return fmt.Errorf("sim: relay tree needs >= 1 tier, have %d", c.Tiers)
+	}
+	if c.Tiers > 1 && c.FanOut < len(c.Mix) {
+		return fmt.Errorf("sim: fan-out %d < %d regions — some regions would have no relay", c.FanOut, len(c.Mix))
+	}
+	if c.FrameBytes <= 0 {
+		return fmt.Errorf("sim: relay tree needs a frame size, have %d", c.FrameBytes)
+	}
+	return nil
+}
+
+// pickRung returns the largest ladder fraction whose encoded bytes move
+// through the link within the target, or the smallest rung when even
+// that does not fit (the controller's floor).
+func pickRung(link wan.Profile, frameBytes int, target time.Duration) float64 {
+	for _, r := range rungs {
+		if link.TransferTime(int(r*float64(frameBytes))) <= target {
+			return r
+		}
+	}
+	return rungs[len(rungs)-1]
+}
+
+// RelayTierStat summarizes one daemon level of the modelled tree.
+type RelayTierStat struct {
+	// Tier 0 is the root; the last tier is the edge level.
+	Tier  int `json:"tier"`
+	Nodes int `json:"nodes"`
+	// EncodesPerFrame sums, over the tier's nodes, the distinct child
+	// operating points — what the encode-once cache actually encodes.
+	EncodesPerFrame int64 `json:"encodes_per_frame"`
+	// EgressBytesPerFrame sums every child copy the tier sends per
+	// frame.
+	EgressBytesPerFrame int64 `json:"egress_bytes_per_frame"`
+}
+
+// RelayTreeResult is the analytic outcome of one scenario.
+type RelayTreeResult struct {
+	Viewers int `json:"viewers"`
+	Tiers   int `json:"tiers"`
+	FanOut  int `json:"fan_out"`
+	Frames  int `json:"frames"`
+	// RootEgressBytes is the whole animation's byte count leaving the
+	// root — the wide-area cost the relay tree exists to cut.
+	RootEgressBytes int64 `json:"root_egress_bytes"`
+	// TotalBytes sums egress over every tier (trees move more bytes in
+	// aggregate; they just move them near the viewers).
+	TotalBytes int64           `json:"total_bytes"`
+	TierStats  []RelayTierStat `json:"tier_stats"`
+	// Frame age percentiles across viewers: encode, serialization
+	// queueing, transfer and decode summed along each viewer's path.
+	P50FrameAge  time.Duration `json:"p50_frame_age_ns"`
+	P99FrameAge  time.Duration `json:"p99_frame_age_ns"`
+	MaxFrameAge  time.Duration `json:"max_frame_age_ns"`
+	MeanFrameAge time.Duration `json:"mean_frame_age_ns"`
+}
+
+// SimulateRelayTree evaluates the analytic relay-tree model for one
+// configuration. Everything is closed-form and deterministic: the same
+// config always returns the same result.
+func SimulateRelayTree(cfg RelayTreeConfig) (RelayTreeResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return RelayTreeResult{}, err
+	}
+	if cfg.Tiers == 1 {
+		return simulateFlat(cfg), nil
+	}
+	return simulateTree(cfg), nil
+}
+
+// simulateFlat: every viewer is a direct child of the root; the root
+// serializes one copy per viewer onto its NIC and crosses each viewer's
+// wide-area link individually.
+func simulateFlat(cfg RelayTreeConfig) RelayTreeResult {
+	nicSec := 1 / cfg.NodeBandwidth
+	ages := make([]float64, cfg.Viewers)
+	points := map[float64]struct{}{}
+	var egress int64
+	queueSec := 0.0
+	for i := 0; i < cfg.Viewers; i++ {
+		link := cfg.Mix[i%len(cfg.Mix)]
+		rung := pickRung(link, cfg.FrameBytes, cfg.Target)
+		points[rung] = struct{}{}
+		bytes := int64(rung * float64(cfg.FrameBytes))
+		// Age: root encode + wait behind the copies already queued +
+		// this copy's WAN transfer + viewer decode.
+		ages[i] = cfg.EncodeTime.Seconds() + queueSec +
+			link.TransferTime(int(bytes)).Seconds() + cfg.DecodeTime.Seconds()
+		queueSec += float64(bytes) * nicSec
+		egress += bytes
+	}
+	root := RelayTierStat{Tier: 0, Nodes: 1, EncodesPerFrame: int64(len(points)), EgressBytesPerFrame: egress}
+	res := RelayTreeResult{
+		Viewers: cfg.Viewers, Tiers: 1, FanOut: 0, Frames: cfg.Frames,
+		RootEgressBytes: egress * int64(cfg.Frames),
+		TotalBytes:      egress * int64(cfg.Frames),
+		TierStats:       []RelayTierStat{root},
+	}
+	fillAges(&res, ages)
+	return res
+}
+
+// simulateTree: tier-1 relays are placed one region each (round-robin
+// over the mix), the viewers of a region split round-robin across that
+// region's edge relays, and every hop below tier 1 is a LAN hop.
+func simulateTree(cfg RelayTreeConfig) RelayTreeResult {
+	nicSec := 1 / cfg.NodeBandwidth
+	regions := len(cfg.Mix)
+	lanRung := pickRung(cfg.LAN, cfg.FrameBytes, cfg.Target)
+	lanBytes := int64(lanRung * float64(cfg.FrameBytes))
+	lanHop := cfg.LAN.TransferTime(int(lanBytes)).Seconds()
+
+	// Root tier: one WAN link per tier-1 relay, rung per region.
+	t1Rung := make([]float64, cfg.FanOut)
+	t1Age := make([]float64, cfg.FanOut) // frame age on arrival at tier-1 relay
+	rootPoints := map[float64]struct{}{}
+	var rootEgress int64
+	queueSec := 0.0
+	for j := 0; j < cfg.FanOut; j++ {
+		link := cfg.Mix[j%regions]
+		rung := pickRung(link, cfg.FrameBytes, cfg.Target)
+		t1Rung[j] = rung
+		rootPoints[rung] = struct{}{}
+		bytes := int64(rung * float64(cfg.FrameBytes))
+		t1Age[j] = cfg.EncodeTime.Seconds() + queueSec + link.TransferTime(int(bytes)).Seconds()
+		queueSec += float64(bytes) * nicSec
+		rootEgress += bytes
+	}
+	tiers := []RelayTierStat{{Tier: 0, Nodes: 1, EncodesPerFrame: int64(len(rootPoints)), EgressBytesPerFrame: rootEgress}}
+
+	// Interior relay tiers (levels 1 .. Tiers-2): every node re-encodes
+	// once (all its children share the LAN rung) and fans out FanOut
+	// LAN copies. Frame age grows by decode+encode at the relay, the
+	// child's queue position, and one LAN hop.
+	levelNodes := cfg.FanOut
+	arrive := t1Age // per-node arrival age at the current level
+	relayCost := cfg.DecodeTime.Seconds() + cfg.EncodeTime.Seconds()
+	for level := 1; level < cfg.Tiers-1; level++ {
+		next := make([]float64, levelNodes*cfg.FanOut)
+		var egress int64
+		for n := 0; n < levelNodes; n++ {
+			for k := 0; k < cfg.FanOut; k++ {
+				next[n*cfg.FanOut+k] = arrive[n] + relayCost +
+					float64(k)*float64(lanBytes)*nicSec + lanHop
+			}
+			egress += int64(cfg.FanOut) * lanBytes
+		}
+		tiers = append(tiers, RelayTierStat{
+			Tier: level, Nodes: levelNodes,
+			EncodesPerFrame:     int64(levelNodes),
+			EgressBytesPerFrame: egress,
+		})
+		levelNodes *= cfg.FanOut
+		arrive = next
+	}
+
+	// Edge tier: viewers of region r round-robin across the edge nodes
+	// descended from tier-1 relays of region r. Edge e sits under
+	// tier-1 relay e/perT1, whose region is (e/perT1)%regions.
+	perT1 := levelNodes / cfg.FanOut // edge nodes under one tier-1 relay
+	regionEdges := make([][]int, regions)
+	for e := 0; e < levelNodes; e++ {
+		r := (e / perT1) % regions
+		regionEdges[r] = append(regionEdges[r], e)
+	}
+	viewerEdge := make([]int, cfg.Viewers)
+	rr := make([]int, regions) // per-region round-robin cursor
+	for i := 0; i < cfg.Viewers; i++ {
+		region := i % regions
+		edges := regionEdges[region]
+		viewerEdge[i] = edges[rr[region]%len(edges)]
+		rr[region]++
+	}
+	ages := make([]float64, cfg.Viewers)
+	pos := make([]int, levelNodes) // per-edge child position cursor
+	var edgeEgress int64
+	for i := 0; i < cfg.Viewers; i++ {
+		e := viewerEdge[i]
+		k := pos[e]
+		pos[e]++
+		ages[i] = arrive[e] + relayCost +
+			float64(k)*float64(lanBytes)*nicSec + lanHop + cfg.DecodeTime.Seconds()
+		edgeEgress += lanBytes
+	}
+	tiers = append(tiers, RelayTierStat{
+		Tier: cfg.Tiers - 1, Nodes: levelNodes,
+		EncodesPerFrame:     int64(levelNodes),
+		EgressBytesPerFrame: edgeEgress,
+	})
+
+	var total int64
+	for _, t := range tiers {
+		total += t.EgressBytesPerFrame
+	}
+	res := RelayTreeResult{
+		Viewers: cfg.Viewers, Tiers: cfg.Tiers, FanOut: cfg.FanOut, Frames: cfg.Frames,
+		RootEgressBytes: rootEgress * int64(cfg.Frames),
+		TotalBytes:      total * int64(cfg.Frames),
+		TierStats:       tiers,
+	}
+	fillAges(&res, ages)
+	return res
+}
+
+// fillAges computes the frame-age distribution fields from per-viewer
+// ages in seconds.
+func fillAges(res *RelayTreeResult, ages []float64) {
+	sorted := append([]float64(nil), ages...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, a := range sorted {
+		sum += a
+	}
+	pick := func(q float64) time.Duration {
+		idx := int(q*float64(len(sorted)-1) + 0.5)
+		return secDur(sorted[idx])
+	}
+	res.P50FrameAge = pick(0.50)
+	res.P99FrameAge = pick(0.99)
+	res.MaxFrameAge = secDur(sorted[len(sorted)-1])
+	res.MeanFrameAge = secDur(sum / float64(len(sorted)))
+}

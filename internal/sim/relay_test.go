@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wan"
+)
+
+func relayBase() RelayTreeConfig {
+	return RelayTreeConfig{
+		Viewers:    1200,
+		Mix:        []wan.Profile{wan.LAN(), wan.NASAUCD(), wan.JapanUCD()},
+		FrameBytes: 60 << 10,
+		Frames:     50,
+		Target:     100 * time.Millisecond,
+	}
+}
+
+// TestRelayTreeCutsRootEgress: the acceptance shape — a 3-tier tree's
+// root egress is at least FanOut times below the flat topology's at
+// equal viewer count, and the reduction roughly tracks viewers/FanOut.
+func TestRelayTreeCutsRootEgress(t *testing.T) {
+	cfg := relayBase()
+	cfg.Tiers = 1
+	flat, err := SimulateRelayTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tiers, cfg.FanOut = 3, 8
+	tree, err := SimulateRelayTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.RootEgressBytes <= 0 || flat.RootEgressBytes <= 0 {
+		t.Fatalf("zero egress: flat %d tree %d", flat.RootEgressBytes, tree.RootEgressBytes)
+	}
+	red := float64(flat.RootEgressBytes) / float64(tree.RootEgressBytes)
+	if red < float64(cfg.FanOut) {
+		t.Errorf("root-egress reduction %.1fx < fan-out %d", red, cfg.FanOut)
+	}
+	// The root only talks to FanOut relays, so the reduction should be
+	// near viewers/fanOut (rung mixes match because tier-1 relays are
+	// spread over the same regions as the viewers).
+	ideal := float64(cfg.Viewers) / float64(cfg.FanOut)
+	if red < ideal*0.5 || red > ideal*2 {
+		t.Errorf("reduction %.1fx implausibly far from viewers/fanout %.1fx", red, ideal)
+	}
+	// Frame age also improves: the flat root serializes 1200 copies
+	// onto one NIC, the tree at most FanOut per node.
+	if tree.P99FrameAge >= flat.P99FrameAge {
+		t.Errorf("tree p99 age %v not below flat %v", tree.P99FrameAge, flat.P99FrameAge)
+	}
+}
+
+// TestRelayTreeTierShape checks tier bookkeeping: node counts follow
+// FanOut^level, encode counts follow the encode-once rule (root: one
+// per distinct region rung; relays: one per node), and total bytes
+// exceed root egress (the tree moves bytes near viewers, not fewer
+// bytes overall).
+func TestRelayTreeTierShape(t *testing.T) {
+	cfg := relayBase()
+	cfg.Tiers, cfg.FanOut = 3, 6
+	res, err := SimulateRelayTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TierStats) != 3 {
+		t.Fatalf("tier stats = %d rows, want 3", len(res.TierStats))
+	}
+	wantNodes := []int{1, 6, 36}
+	for i, ts := range res.TierStats {
+		if ts.Nodes != wantNodes[i] {
+			t.Errorf("tier %d nodes = %d, want %d", i, ts.Nodes, wantNodes[i])
+		}
+	}
+	if root := res.TierStats[0].EncodesPerFrame; root < 1 || root > int64(len(cfg.Mix)) {
+		t.Errorf("root encodes/frame = %d, want 1..%d distinct region rungs", root, len(cfg.Mix))
+	}
+	for _, ts := range res.TierStats[1:] {
+		if ts.EncodesPerFrame != int64(ts.Nodes) {
+			t.Errorf("tier %d encodes/frame = %d, want one per node (%d)", ts.Tier, ts.EncodesPerFrame, ts.Nodes)
+		}
+	}
+	if res.TotalBytes <= res.RootEgressBytes {
+		t.Errorf("total bytes %d not above root egress %d", res.TotalBytes, res.RootEgressBytes)
+	}
+}
+
+// TestRelayTreeDeterministic: same config, same result — the model is
+// closed-form.
+func TestRelayTreeDeterministic(t *testing.T) {
+	cfg := relayBase()
+	cfg.Tiers, cfg.FanOut = 3, 4
+	a, err := SimulateRelayTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateRelayTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RootEgressBytes != b.RootEgressBytes || a.P99FrameAge != b.P99FrameAge || a.TotalBytes != b.TotalBytes {
+		t.Fatalf("model not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRelayTreeValidation rejects impossible shapes.
+func TestRelayTreeValidation(t *testing.T) {
+	bad := []RelayTreeConfig{
+		{},
+		{Viewers: 10},
+		{Viewers: 10, Mix: []wan.Profile{wan.LAN()}, Tiers: 0},
+		{Viewers: 10, Mix: []wan.Profile{wan.LAN(), wan.NASAUCD()}, Tiers: 2, FanOut: 1, FrameBytes: 100},
+		{Viewers: 10, Mix: []wan.Profile{wan.LAN()}, Tiers: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateRelayTree(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

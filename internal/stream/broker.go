@@ -52,6 +52,11 @@ type Broker struct {
 	closed     bool
 	advertised []string
 
+	// ctrlForward, when set, receives every user-control message in
+	// addition to the connected renderers — the relay node's hook for
+	// passing controls up the tree toward the render site.
+	ctrlForward atomic.Pointer[func(transport.Message)]
+
 	// Observability hooks (nil until Instrument/SetTracer): per-stage
 	// histograms and the span tracer. Swapped atomically so the
 	// sender hot path reads them without taking mu.
@@ -90,6 +95,12 @@ type client struct {
 	// marshalBuf is the sender goroutine's reusable wire-marshal
 	// scratch; only sender touches it, so no locking.
 	marshalBuf []byte
+
+	// lastPoint tracks the operating point the sender last encoded at,
+	// so a ladder step mid-frame can invalidate the abandoned point's
+	// cache entry. Sender-goroutine-local.
+	lastPoint    Point
+	lastPointSet bool
 
 	framesSent atomic.Int64
 	bytesSent  atomic.Int64
@@ -162,6 +173,19 @@ func (b *Broker) Cache() *EncodeCache { return b.cache }
 
 // Logger exposes the broker's component logger.
 func (b *Broker) Logger() *obs.Logger { return b.log }
+
+// SetControlForward installs a sink that receives every user-control
+// message from display clients in addition to any connected renderers.
+// A relay node forwards them to its upstream session, so controls from
+// viewers at the tree's edge still reach the render site. Safe to call
+// while serving; nil detaches.
+func (b *Broker) SetControlForward(fn func(transport.Message)) {
+	if fn == nil {
+		b.ctrlForward.Store(nil)
+		return
+	}
+	b.ctrlForward.Store(&fn)
+}
 
 // SetTracer attaches a span tracer: each client session records
 // pace/encode/send spans on its own "client N" track, and frame
@@ -318,6 +342,10 @@ func (b *Broker) handleRenderer(conn net.Conn) {
 	r.id = b.nextID
 	b.renderers[r.id] = r
 	b.mu.Unlock()
+	// A renderer (re)connecting may restart its frame-ID sequence from
+	// zero; a fresh cache generation keeps the previous sequence's
+	// entries from being served as this one's frames.
+	b.cache.BumpGeneration()
 	defer func() {
 		b.mu.Lock()
 		delete(b.renderers, r.id)
@@ -368,24 +396,33 @@ func (b *Broker) setAdvertised(families []string) {
 	b.log.Infof("renderer advertises %v", families)
 }
 
+// IngestImage feeds one marshaled image piece into the broker exactly
+// as if it had arrived from a connected renderer, reporting the piece's
+// frame ID and whether it completed a frame. It is the relay node's
+// input path: frames received from the upstream daemon are re-served to
+// this broker's own clients.
+func (b *Broker) IngestImage(payload []byte) (frameID uint32, completed bool) {
+	return b.ingest(payload)
+}
+
 // ingest decodes one renderer image piece; when it completes a frame,
 // the frame is offered to every client's pacer (never blocking — a
 // full queue drops its oldest frame).
-func (b *Broker) ingest(payload []byte) {
+func (b *Broker) ingest(payload []byte) (uint32, bool) {
 	defer b.tracer.Load().Begin("broker", "stream", "ingest")()
 	im, err := transport.UnmarshalImage(payload)
 	if err != nil {
 		b.log.Warnf("bad image: %v", err)
-		return
+		return 0, false
 	}
 	b.stats.PiecesIn.Add(1)
 	fr, err := b.asm.Ingest(im)
 	if err != nil {
 		b.log.Warnf("decode frame %d: %v", im.FrameID, err)
-		return
+		return im.FrameID, false
 	}
 	if fr == nil {
-		return
+		return im.FrameID, false
 	}
 	b.stats.FramesIn.Add(1)
 	sf := &SourceFrame{ID: fr.ID, Image: fr.Image}
@@ -402,6 +439,7 @@ func (b *Broker) ingest(payload []byte) {
 			b.stats.Drops.Add(d)
 		}
 	}
+	return fr.ID, true
 }
 
 func (b *Broker) handleDisplay(conn net.Conn) {
@@ -487,8 +525,13 @@ func (b *Broker) onAck(c *client, ack *transport.AckMsg) {
 	c.gauges.Set("rtt_ms", float64(rtt)/float64(time.Millisecond))
 }
 
-// routeToRenderers relays a user-control message to every renderer.
+// routeToRenderers relays a user-control message to every renderer and
+// to the control-forward sink (the relay node's upstream path).
 func (b *Broker) routeToRenderers(m transport.Message) {
+	if fn := b.ctrlForward.Load(); fn != nil {
+		(*fn)(m)
+		b.stats.ControlsRouted.Add(1)
+	}
 	b.mu.Lock()
 	rends := make([]*rendererPeer, 0, len(b.renderers))
 	for _, r := range b.renderers {
@@ -524,6 +567,10 @@ func (b *Broker) sender(c *client) {
 		if b.cfg.FixedPoint != nil {
 			point = *b.cfg.FixedPoint
 		}
+		if c.lastPointSet && point != c.lastPoint {
+			b.notePointChange(c, c.lastPoint, sf.ID)
+		}
+		c.lastPoint, c.lastPointSet = point, true
 		encode := func() ([]byte, error) {
 			codec, err := point.FrameCodec()
 			if err != nil {
@@ -604,6 +651,27 @@ func (b *Broker) sender(c *client) {
 		c.gauges.Set("drops", float64(c.pacer.Drops()))
 		c.gauges.Set("queue_len", float64(c.pacer.Len()))
 		c.gauges.Set("cache_hit_rate", b.cache.Stats().HitRate())
+	}
+}
+
+// notePointChange runs when a client's ladder steps away from old
+// (usually a step-down under link pressure) while frame frameID is
+// still being fanned out. If no other client still operates at old,
+// its entry for the current frame is stale — nobody will request it
+// again — so it is invalidated rather than left squatting in the
+// bounded frame window until frame-age eviction.
+func (b *Broker) notePointChange(c *client, old Point, frameID uint32) {
+	b.mu.Lock()
+	inUse := false
+	for _, o := range b.clients {
+		if o != c && o.ctrl.Current() == old {
+			inUse = true
+			break
+		}
+	}
+	b.mu.Unlock()
+	if !inUse {
+		b.cache.Invalidate(frameID, old)
 	}
 }
 

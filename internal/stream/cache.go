@@ -10,6 +10,10 @@ type CacheStats struct {
 	Hits      atomic.Int64
 	Misses    atomic.Int64
 	Evictions atomic.Int64
+	// Invalidations counts entries evicted explicitly — a client ladder
+	// stepping away from a point mid-frame, or a generation bump on
+	// renderer reconnect. They are counted in Evictions too.
+	Invalidations atomic.Int64
 }
 
 // HitRate returns hits / (hits + misses).
@@ -22,6 +26,7 @@ func (s *CacheStats) HitRate() float64 {
 }
 
 type cacheKey struct {
+	gen     uint64
 	frameID uint32
 	point   string
 }
@@ -33,17 +38,28 @@ type cacheEntry struct {
 }
 
 // EncodeCache is the encode-once fan-out cache: entries are keyed by
-// (frameID, codec, quality), so any number of clients at the same
-// operating point share a single encode. Concurrent requests for a
-// missing key coalesce — the first caller encodes, the rest wait for
-// its result. Old frames are evicted once more than a bounded number
-// of distinct frame IDs are resident (viewers only ever want recent
-// frames, so eviction is by frame age, not LRU touch order).
+// (generation, frameID, codec, quality), so any number of clients at
+// the same operating point share a single encode. Concurrent requests
+// for a missing key coalesce — the first caller encodes, the rest wait
+// for its result. Old frames are evicted once more than a bounded
+// number of distinct frame IDs are resident (viewers only ever want
+// recent frames, so eviction is by frame age, not LRU touch order).
+//
+// The generation guards against stale hits across frame-ID restarts: a
+// renderer that reconnects (PR 3's auto-reconnect restarts sequences)
+// re-sends frame IDs from 0, and without the generation in the key the
+// cache would serve the previous animation's frame 0 bytes for the new
+// one. BumpGeneration retires every resident entry and makes old keys
+// unreachable. Invalidate evicts one (frame, point) entry — the broker
+// calls it when a client's ladder steps away from a point mid-frame and
+// no other client still operates there, so abandoned-quality entries do
+// not squat in the bounded frame window.
 type EncodeCache struct {
 	mu       sync.Mutex
 	capacity int // distinct frame IDs retained
+	gen      uint64
 	entries  map[cacheKey]*cacheEntry
-	frames   []uint32 // insertion order of distinct frame IDs
+	frames   []uint32 // insertion order of distinct frame IDs (current generation)
 	stats    CacheStats
 }
 
@@ -58,12 +74,55 @@ func NewEncodeCache(capFrames int) *EncodeCache {
 // Stats exposes the cache counters.
 func (c *EncodeCache) Stats() *CacheStats { return &c.stats }
 
-// GetOrEncode returns the encoded bytes for (frameID, point), calling
-// encode at most once per key across all concurrent callers. A failed
-// encode is not cached; the next request retries.
-func (c *EncodeCache) GetOrEncode(frameID uint32, p Point, encode func() ([]byte, error)) ([]byte, error) {
-	key := cacheKey{frameID: frameID, point: p.String()}
+// Generation returns the current cache generation.
+func (c *EncodeCache) Generation() uint64 {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// BumpGeneration starts a new frame-ID space: every resident entry is
+// evicted and requests made after the bump can never hit entries cached
+// before it. Call it when the frame-ID sequence may restart (a renderer
+// reconnects). Returns the new generation.
+func (c *EncodeCache) BumpGeneration() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	if n := len(c.entries); n > 0 {
+		c.entries = map[cacheKey]*cacheEntry{}
+		c.stats.Evictions.Add(int64(n))
+		c.stats.Invalidations.Add(int64(n))
+	}
+	c.frames = c.frames[:0]
+	return c.gen
+}
+
+// Invalidate evicts the current-generation entry for (frameID, p),
+// reporting whether one was resident. The broker uses it when a client
+// ladder steps away from p while frameID is still being fanned out, so
+// the abandoned operating point's bytes do not linger as a stale hit
+// target for the rest of the frame's residency.
+func (c *EncodeCache) Invalidate(frameID uint32, p Point) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{gen: c.gen, frameID: frameID, point: p.String()}
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.stats.Evictions.Add(1)
+	c.stats.Invalidations.Add(1)
+	return true
+}
+
+// GetOrEncode returns the encoded bytes for (frameID, point) in the
+// current generation, calling encode at most once per key across all
+// concurrent callers. A failed encode is not cached; the next request
+// retries.
+func (c *EncodeCache) GetOrEncode(frameID uint32, p Point, encode func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	key := cacheKey{gen: c.gen, frameID: frameID, point: p.String()}
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.ready
@@ -106,7 +165,7 @@ func (c *EncodeCache) noteFrameLocked(frameID uint32) {
 		victim := c.frames[0]
 		c.frames = c.frames[1:]
 		for k := range c.entries {
-			if k.frameID == victim {
+			if k.frameID == victim && k.gen == c.gen {
 				delete(c.entries, k)
 				c.stats.Evictions.Add(1)
 			}

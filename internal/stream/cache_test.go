@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestCacheGenerationPreventsStaleHit is the regression test for the
+// stale-quality/stale-frame hit path: a renderer restart re-sends frame
+// IDs from zero, and before generations were added the cache served the
+// previous sequence's bytes for the new sequence's identically numbered
+// frames.
+func TestCacheGenerationPreventsStaleHit(t *testing.T) {
+	c := NewEncodeCache(4)
+	p := Point{Codec: "jpeg", Quality: 45}
+
+	old := []byte("animation-1 frame 0")
+	got, err := c.GetOrEncode(0, p, func() ([]byte, error) { return old, nil })
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("prime: got %q err %v", got, err)
+	}
+	// Same key hits.
+	got, err = c.GetOrEncode(0, p, func() ([]byte, error) { t.Fatal("unexpected encode"); return nil, nil })
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("hit: got %q err %v", got, err)
+	}
+	if h := c.Stats().Hits.Load(); h != 1 {
+		t.Fatalf("hits = %d, want 1", h)
+	}
+
+	gen := c.BumpGeneration()
+	if gen != 1 {
+		t.Fatalf("generation = %d, want 1", gen)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entries survive a generation bump: %d resident", c.Len())
+	}
+	fresh := []byte("animation-2 frame 0")
+	got, err = c.GetOrEncode(0, p, func() ([]byte, error) { return fresh, nil })
+	if err != nil {
+		t.Fatalf("re-encode after bump: %v", err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatalf("stale hit across generations: got %q, want %q", got, fresh)
+	}
+	if m := c.Stats().Misses.Load(); m != 2 {
+		t.Fatalf("misses = %d, want 2 (the bump must force a re-encode)", m)
+	}
+}
+
+// TestCacheInvalidateStepDown covers the mid-frame ladder step-down:
+// the abandoned operating point's entry is evicted and a later request
+// at that point re-encodes instead of hitting.
+func TestCacheInvalidateStepDown(t *testing.T) {
+	c := NewEncodeCache(4)
+	hi := Point{Codec: "jpeg+lzo", Quality: 85}
+	lo := Point{Codec: "jpeg", Quality: 30}
+
+	if _, err := c.GetOrEncode(7, hi, func() ([]byte, error) { return []byte("hi"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrEncode(7, lo, func() ([]byte, error) { return []byte("lo"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Invalidate(7, hi) {
+		t.Fatal("Invalidate(7, hi) = false, want eviction")
+	}
+	if c.Invalidate(7, hi) {
+		t.Fatal("second Invalidate(7, hi) = true, want no-op")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("resident entries = %d, want 1 (only the low point)", c.Len())
+	}
+	if got := c.Stats().Invalidations.Load(); got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+	// The step-down target is untouched…
+	encodes := 0
+	if _, err := c.GetOrEncode(7, lo, func() ([]byte, error) { encodes++; return []byte("lo2"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if encodes != 0 {
+		t.Fatal("low-point entry was lost by the invalidation")
+	}
+	// …while the abandoned point re-encodes.
+	if _, err := c.GetOrEncode(7, hi, func() ([]byte, error) { encodes++; return []byte("hi2"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if encodes != 1 {
+		t.Fatal("abandoned point served a stale hit after invalidation")
+	}
+}
+
+// TestCacheFrameEvictionScopedToGeneration: frame-age eviction only
+// removes current-generation keys (older generations are cleared
+// wholesale at the bump, so nothing leaks either way).
+func TestCacheFrameEvictionScopedToGeneration(t *testing.T) {
+	c := NewEncodeCache(2)
+	p := Point{Codec: "lzo"}
+	for id := uint32(0); id < 5; id++ {
+		if _, err := c.GetOrEncode(id, p, func() ([]byte, error) { return []byte{byte(id)}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("resident = %d, want capacity 2", c.Len())
+	}
+	if ev := c.Stats().Evictions.Load(); ev != 3 {
+		t.Fatalf("evictions = %d, want 3", ev)
+	}
+}
+
+// TestBrokerRendererConnectBumpsGeneration: each renderer registration
+// starts a fresh cache generation, because its frame-ID sequence may
+// restart at zero.
+func TestBrokerRendererConnectBumpsGeneration(t *testing.T) {
+	b, err := ListenAndServe("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	dial := func() *transport.Endpoint {
+		t.Helper()
+		conn, err := net.Dial("tcp", b.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := transport.NewEndpoint(conn, transport.RoleRenderer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep
+	}
+
+	waitGen := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if b.Cache().Generation() == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("cache generation = %d, want %d", b.Cache().Generation(), want)
+	}
+
+	ep := dial()
+	waitGen(1)
+	ep.Close()
+	ep2 := dial()
+	defer ep2.Close()
+	waitGen(2)
+}
