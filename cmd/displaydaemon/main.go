@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/relay"
 	"repro/internal/stream"
 	"repro/internal/transport"
@@ -60,12 +61,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
 	relayParent := flag.String("relay-parent", "", "run as a relay-tree node attached to this parent daemon")
 	relayName := flag.String("relay-name", "", "relay: node name in status output (default the listen address)")
+	relayTier := flag.Int("relay-tier", 1, "relay: tier depth in the tree (labels Prometheus series; root daemon = 0)")
 	var relayFallbacks stringList
 	flag.Var(&relayFallbacks, "relay-fallback", "relay: re-parent target after the parent dies (repeatable; order = preference)")
 	flag.Parse()
 
 	if *relayParent != "" {
-		runRelay(*listen, *relayParent, relayFallbacks, *relayName,
+		runRelay(*listen, *relayParent, relayFallbacks, *relayName, *relayTier,
 			stream.Config{Target: *target, QueueDepth: *queue, CacheFrames: *cacheFrames},
 			*heartbeat, *peerTimeout, *verbose, *debugAddr)
 		return
@@ -96,9 +98,13 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		d.Instrument(reg)
+		prov := provenance.NewLog("displaydaemon", 0)
+		d.SetProvenance(prov)
 		st := d.Stats()
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
-			Registry: reg,
+			Component: "displaydaemon",
+			Registry:  reg,
+			Frames:    prov.Handler(),
 			Status: func() any {
 				return map[string]any{
 					"mode":             "plain",
@@ -140,7 +146,7 @@ func main() {
 // runRelay joins a relay tree: downstream adaptive broker on listen,
 // upstream session against parent with the fallback chain as re-parent
 // targets.
-func runRelay(listen, parent string, fallbacks []string, name string, streamCfg stream.Config, heartbeat, peerTimeout time.Duration, verbose bool, debugAddr string) {
+func runRelay(listen, parent string, fallbacks []string, name string, tier int, streamCfg stream.Config, heartbeat, peerTimeout time.Duration, verbose bool, debugAddr string) {
 	if name == "" {
 		name = listen
 	}
@@ -149,10 +155,12 @@ func runRelay(listen, parent string, fallbacks []string, name string, streamCfg 
 	}
 	cfg := relay.Config{
 		Name:        name,
+		Tier:        tier,
 		Parents:     append([]string{parent}, fallbacks...),
 		Stream:      streamCfg,
 		Heartbeat:   heartbeat,
 		PeerTimeout: peerTimeout,
+		Prov:        provenance.NewLog(name, 0),
 	}
 	if verbose {
 		cfg.Logf = log.Printf
@@ -168,7 +176,9 @@ func runRelay(listen, parent string, fallbacks []string, name string, streamCfg 
 		n.Instrument(reg)
 		obs.InstrumentCodecs(reg)
 		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{
-			Registry: reg,
+			Component: "displaydaemon",
+			Registry:  reg,
+			Frames:    cfg.Prov.Handler(),
 			Status: func() any {
 				return map[string]any{"mode": "relay", "node": n.Status()}
 			},
@@ -210,9 +220,13 @@ func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, ve
 		obs.InstrumentAllocs(reg)
 		tr := obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
 		b.SetTracer(tr)
+		prov := provenance.NewLog("displaydaemon", 0)
+		b.SetProvenance(prov)
 		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{
-			Registry: reg,
-			Tracer:   tr,
+			Component: "displaydaemon",
+			Registry:  reg,
+			Tracer:    tr,
+			Frames:    prov.Handler(),
 			Status: func() any {
 				return map[string]any{"mode": "adaptive", "clients": b.ClientSnapshots()}
 			},

@@ -10,11 +10,15 @@
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
 // datasets, hybrid, trace, pipeline, adaptive, faults, perf, relay,
-// all.
+// status, all.
 //
 //	paperbench -exp perf -bench-out BENCH_render.json
 //	                               # multicore hot-path benchmark; the
 //	                               # JSON feeds cmd/benchdiff in CI
+//	paperbench -exp status -trace merged.json -json BENCH_status.json
+//	                               # loopback relay tree with one
+//	                               # impaired link; the provenance
+//	                               # collector must attribute it
 package main
 
 import (
@@ -28,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,status,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
@@ -54,8 +58,9 @@ func main() {
 		"faults":   wrap(ctx.Faults),
 		"perf":     wrap(ctx.Perf),
 		"relay":    wrap(ctx.Relay),
+		"status":   wrap(ctx.Status),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay", "status"}
 
 	var todo []string
 	switch *exp {

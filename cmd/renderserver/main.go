@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/tf"
 	"repro/internal/transport"
 	"repro/internal/volio"
@@ -75,6 +76,7 @@ func main() {
 	if *debugAddr != "" {
 		opt.Metrics = obs.NewRegistry()
 		opt.Trace = obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
+		opt.Prov = provenance.NewLog("renderserver", 0)
 		obs.InstrumentCodecs(opt.Metrics)
 		obs.InstrumentRender(opt.Metrics)
 		obs.InstrumentAllocs(opt.Metrics)
@@ -86,8 +88,10 @@ func main() {
 	if *debugAddr != "" {
 		st := srv.Stats()
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
-			Registry: opt.Metrics,
-			Tracer:   opt.Trace,
+			Component: "renderserver",
+			Registry:  opt.Metrics,
+			Tracer:    opt.Trace,
+			Frames:    opt.Prov.Handler(),
 			Status: func() any {
 				status := map[string]any{
 					"frames_sent": st.FramesSent.Load(),

@@ -19,6 +19,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/display"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/tf"
 	"repro/internal/transport"
 	"repro/internal/wan"
@@ -79,6 +80,8 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		obs.InstrumentCodecs(reg)
+		prov := provenance.NewLog("viewer", 0)
+		v.SetProvenance(prov, *daemon)
 		reg.CounterFunc("viewer_frames_total", "Frames displayed.", func() int64 {
 			st := v.Stats()
 			return int64(st.Frames)
@@ -96,7 +99,9 @@ func main() {
 			return st.DecodeTime.Seconds()
 		})
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
-			Registry: reg,
+			Component: "viewer",
+			Registry:  reg,
+			Frames:    prov.Handler(),
 			Status: func() any {
 				if sess != nil {
 					return map[string]any{"viewer": v.Stats(), "link": sess.State()}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/img"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/pipeline"
 	"repro/internal/render"
 	"repro/internal/tf"
@@ -87,6 +89,11 @@ type ServerOptions struct {
 	// Metrics, when set, receives pipeline stage histograms and the
 	// server counters (see Server.Instrument).
 	Metrics *obs.Registry
+	// Prov, when set, records origin frame-provenance events
+	// (rendered/composited/compressed/sent) and makes every outgoing
+	// image carry a wire trace context (hop 0 = this server), so
+	// daemons, relays and viewers downstream can log against it.
+	Prov *provenance.Log
 }
 
 // ServerStats counts server activity.
@@ -121,6 +128,9 @@ type Server struct {
 	stopped bool
 
 	frameID atomic.Uint32
+	// traceID identifies this server's frame stream in wire trace
+	// contexts (random per process lifetime).
+	traceID uint64
 	stats   ServerStats
 }
 
@@ -193,6 +203,9 @@ func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
 		view:  opt.View,
 		curTF: opt.TF,
 		codec: codec,
+	}
+	if opt.Prov != nil {
+		s.traceID = rand.Uint64() | 1
 	}
 	if opt.NodeLinks && opt.Pieces > 1 {
 		for i := 1; i < opt.Pieces; i++ {
@@ -387,6 +400,21 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 	codec := s.codec
 	s.mu.Unlock()
 	id := s.frameID.Add(1) - 1
+	var tc *transport.TraceCtx
+	if s.traceID != 0 {
+		origin := time.Now().UnixNano()
+		tc = &transport.TraceCtx{TraceID: s.traceID, FrameID: id, OriginUnixNano: origin}
+		// The pipeline delivered a composited frame; back-date the
+		// render mark by the composite stage so the origin timeline
+		// shows both stages.
+		s.opt.Prov.Record(provenance.Event{
+			Trace: s.traceID, Frame: id, Event: provenance.EvRendered,
+			UnixNano: origin - int64(f.CompositeTime),
+		})
+		s.opt.Prov.Record(provenance.Event{
+			Trace: s.traceID, Frame: id, Event: provenance.EvComposited, UnixNano: origin,
+		})
+	}
 	// With per-node links the pieces are compressed and shipped
 	// concurrently, as the paper's compute nodes do ("as soon as a
 	// processor completes the sub-image it is responsible for
@@ -421,7 +449,23 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 				Codec: codec.Name(),
 				Data:  data,
 			}
-			if err := s.endpointFor(i).SendImage(msg); err != nil {
+			var out transport.Message
+			out.Type = transport.MsgImage
+			if out.Payload, err = msg.Marshal(); err != nil {
+				errs[i] = err
+				return
+			}
+			if tc != nil {
+				s.opt.Prov.Record(provenance.Event{
+					Trace: s.traceID, Frame: id, Event: provenance.EvCompressed,
+					Bytes: len(data), Cause: codec.Name(),
+				})
+				// Downstream processes hold the frame at hop 1.
+				fwd := *tc
+				fwd.Hop = 1
+				out.Trace = &fwd
+			}
+			if err := s.endpointFor(i).Send(out); err != nil {
 				// In Reconnect mode a downed link degrades to frame
 				// drops: the session is redialing in the background
 				// (or has terminally failed, which Run surfaces), and
@@ -432,6 +476,11 @@ func (s *Server) sendFrame(f *pipeline.Frame) error {
 				}
 				errs[i] = err
 				return
+			}
+			if tc != nil {
+				s.opt.Prov.Record(provenance.Event{
+					Trace: s.traceID, Frame: id, Event: provenance.EvSent, Bytes: len(out.Payload),
+				})
 			}
 			s.stats.BytesSent.Add(int64(len(data)))
 		}

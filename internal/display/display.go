@@ -8,6 +8,7 @@ package display
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compress"
@@ -15,6 +16,7 @@ import (
 	// wire and the assembler resolves it by name.
 	_ "repro/internal/compress/codecs"
 	"repro/internal/img"
+	"repro/internal/obs/provenance"
 	"repro/internal/transport"
 )
 
@@ -188,6 +190,12 @@ type Viewer struct {
 	// stream broker's RTT estimator runs on. On by default; the plain
 	// daemon just counts the acks.
 	autoAck bool
+
+	// prov, when set, records received/decoded/displayed lifecycle
+	// events for traced frames; upstream names the link the frames
+	// arrived over.
+	prov     atomic.Pointer[provenance.Log]
+	upstream atomic.Pointer[string]
 }
 
 // ViewerStats aggregates what the viewer saw.
@@ -225,6 +233,14 @@ func NewViewer(ep transport.Link) *Viewer {
 	}
 	go v.loop()
 	return v
+}
+
+// SetProvenance attaches a frame-provenance log; upstreamAddr names
+// the daemon the viewer is attached to (recorded as the Link on
+// received events so collectors can attribute the last hop).
+func (v *Viewer) SetProvenance(l *provenance.Log, upstreamAddr string) {
+	v.prov.Store(l)
+	v.upstream.Store(&upstreamAddr)
 }
 
 // SetAutoAck enables or disables receive-timestamp reporting.
@@ -294,6 +310,17 @@ func (v *Viewer) loop() {
 		if m.Type != transport.MsgImage {
 			continue
 		}
+		if prov := v.prov.Load(); prov != nil && m.Trace != nil {
+			link := ""
+			if up := v.upstream.Load(); up != nil {
+				link = *up
+			}
+			prov.Record(provenance.Event{
+				Trace: m.Trace.TraceID, Frame: m.Trace.FrameID,
+				Hop: int(m.Trace.Hop), Event: provenance.EvReceived,
+				Bytes: len(m.Payload), Link: link,
+			})
+		}
 		im, err := transport.UnmarshalImage(m.Payload)
 		if err != nil {
 			v.fail(err)
@@ -306,6 +333,13 @@ func (v *Viewer) loop() {
 		}
 		if fr == nil {
 			continue
+		}
+		if prov := v.prov.Load(); prov != nil && m.Trace != nil {
+			prov.Record(provenance.Event{
+				Trace: m.Trace.TraceID, Frame: m.Trace.FrameID,
+				Hop: int(m.Trace.Hop), Event: provenance.EvDecoded,
+				Bytes: fr.Bytes, Cause: fr.Codec,
+			})
 		}
 		now := time.Now()
 		v.mu.Lock()
@@ -336,6 +370,12 @@ func (v *Viewer) loop() {
 		v.mu.Unlock()
 		select {
 		case v.frames <- fr:
+			if prov := v.prov.Load(); prov != nil && m.Trace != nil {
+				prov.Record(provenance.Event{
+					Trace: m.Trace.TraceID, Frame: m.Trace.FrameID,
+					Hop: int(m.Trace.Hop), Event: provenance.EvDisplayed,
+				})
+			}
 		case <-v.done:
 			return
 		}

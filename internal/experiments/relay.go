@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/img"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/relay"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -182,10 +185,31 @@ func (c *Context) relayLive(nViewers, frames int) (*RelayLive, error) {
 		return nil, err
 	}
 	defer tree.Close()
+
+	// With -trace, every broker in the tree records its per-client
+	// stage spans; the merged trace lands at TracePath with tracks
+	// prefixed by node name.
+	var tracers map[string]*obs.Tracer
+	if c.TracePath != "" {
+		tracers = map[string]*obs.Tracer{"root": obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)}
+		tree.Root.SetTracer(tracers["root"])
+		for _, n := range tree.Nodes() {
+			name := n.Status().Name
+			tracers[name] = obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
+			n.Broker().SetTracer(tracers[name])
+		}
+	}
+
 	treeBytes, err := streamToViewers(tree.EdgeAddrs(), tree.Root.Addr().String(), nViewers, frames,
 		func() int64 { return tree.Root.Stats().BytesOut.Load() })
 	if err != nil {
 		return nil, err
+	}
+	if tracers != nil {
+		if err := writeMergedTrace(c.TracePath, tracers); err != nil {
+			return nil, err
+		}
+		c.printf("wrote relay-tree trace to %s\n", c.TracePath)
 	}
 
 	live := &RelayLive{
@@ -198,6 +222,33 @@ func (c *Context) relayLive(nViewers, frames int) (*RelayLive, error) {
 		live.Reduction = float64(flatBytes) / float64(treeBytes)
 	}
 	return live, nil
+}
+
+// writeMergedTrace merges per-node tracer spans into one Chrome
+// trace, each track prefixed with its node name so root and relay
+// stages line up on one timeline.
+func writeMergedTrace(path string, tracers map[string]*obs.Tracer) error {
+	names := make([]string, 0, len(tracers))
+	for name := range tracers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var spans []obs.Span
+	for _, name := range names {
+		for _, s := range tracers[name].Spans() {
+			s.Track = name + "/" + s.Track
+			spans = append(spans, s)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // streamToViewers attaches nViewers across the edge addresses

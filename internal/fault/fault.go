@@ -63,6 +63,13 @@ type Plan struct {
 	// SlowStartBandwidth (bytes/s) — a cold link ramping up.
 	SlowStartBytes     int64
 	SlowStartBandwidth float64
+
+	// ReadStallEveryBytes stalls the read side for ReadStall every N
+	// received bytes (0 = never) — a congested inbound link. This is
+	// the knob the status experiment turns to slow one relay's intake
+	// without touching its outbound stream.
+	ReadStallEveryBytes int64
+	ReadStall           time.Duration
 }
 
 // Stats counts injected events across an injector's connections.
@@ -190,6 +197,9 @@ type Conn struct {
 	nextOff int // index into plan.CorruptOffsets
 	stalled bool
 	closed  atomic.Bool
+
+	readMu sync.Mutex // serializes Read's byte counter
+	read   int64
 }
 
 // kill closes the underlying connection without unregistering (Close
@@ -207,6 +217,27 @@ func (c *Conn) Close() error {
 	c.closed.Store(true)
 	c.in.forget(c)
 	return c.Conn.Close()
+}
+
+// Read applies the read-side plan: a recurring stall every
+// ReadStallEveryBytes received bytes. The stall lands after the bytes
+// that crossed the threshold are returned-to-caller-side counted, so
+// a frame mid-flight is delayed rather than truncated.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	plan := &c.in.plan
+	if n > 0 && plan.ReadStallEveryBytes > 0 && plan.ReadStall > 0 {
+		c.readMu.Lock()
+		start := c.read
+		c.read += int64(n)
+		crossed := c.read/plan.ReadStallEveryBytes > start/plan.ReadStallEveryBytes
+		c.readMu.Unlock()
+		if crossed {
+			c.in.stalls.Add(1)
+			time.Sleep(plan.ReadStall)
+		}
+	}
+	return n, err
 }
 
 // Write applies the plan to one write: partition gate, slow start,

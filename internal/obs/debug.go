@@ -5,13 +5,23 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 )
+
+// Version is the build identifier reported by every /debug/status
+// endpoint. Overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/obs.Version=$(git rev-parse --short HEAD)"
+var Version = "dev"
 
 // DebugConfig wires the observability surfaces into one debug server.
 // Any field may be nil; the corresponding endpoint then serves an
 // empty document.
 type DebugConfig struct {
+	// Component names the process ("renderserver", "displaydaemon",
+	// "viewer", ...) in /debug/status.
+	Component string
 	// Registry backs /metrics (Prometheus text format) and the
 	// "metrics" section of /debug/status.
 	Registry *Registry
@@ -22,11 +32,17 @@ type DebugConfig struct {
 	// /debug/status — a JSON-marshalable component snapshot (daemon
 	// stats, broker client sessions, ...).
 	Status func() any
+	// Frames, when set, serves /debug/frames — the frame-provenance
+	// ring buffer dump the cross-process collector crawls. Declared as
+	// a generic handler (rather than *provenance.Log) to keep obs free
+	// of upward imports.
+	Frames http.Handler
 }
 
 // NewDebugMux builds the debug HTTP handler: /metrics, /debug/status,
-// /debug/trace.
+// /debug/trace, and (when provenance is wired) /debug/frames.
 func NewDebugMux(cfg DebugConfig) *http.ServeMux {
+	started := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,8 +50,12 @@ func NewDebugMux(cfg DebugConfig) *http.ServeMux {
 	})
 	mux.HandleFunc("/debug/status", func(w http.ResponseWriter, r *http.Request) {
 		doc := map[string]any{
-			"time":    time.Now().UTC().Format(time.RFC3339Nano),
-			"metrics": cfg.Registry.Snapshot(),
+			"component":      cfg.Component,
+			"version":        Version,
+			"go":             runtime.Version(),
+			"time":           time.Now().UTC().Format(time.RFC3339Nano),
+			"uptime_seconds": time.Since(started).Seconds(),
+			"metrics":        cfg.Registry.Snapshot(),
 		}
 		if cfg.Status != nil {
 			doc["status"] = cfg.Status()
@@ -56,6 +76,14 @@ func NewDebugMux(cfg DebugConfig) *http.ServeMux {
 			return
 		}
 		_ = cfg.Tracer.WriteChrome(w)
+	})
+	mux.HandleFunc("/debug/frames", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Frames == nil {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"node":"","events":[]}`)
+			return
+		}
+		cfg.Frames.ServeHTTP(w, r)
 	})
 	return mux
 }

@@ -1,0 +1,538 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// NodeRef names one process the collector crawls.
+type NodeRef struct {
+	// Name is the display name; "" adopts the dump's own node name.
+	Name string `json:"name"`
+	// URL is the node's debug base ("http://127.0.0.1:6060"); the
+	// collector fetches URL + "/debug/frames".
+	URL string `json:"url"`
+	// Addr is the node's downstream listen address — the address its
+	// children dial and record as Link on received events. The root
+	// renderer has none.
+	Addr string `json:"addr,omitempty"`
+}
+
+// NodeInfo is one crawled node's fetch outcome.
+type NodeInfo struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// OffsetNS estimates serverClock − collectorClock (NTP-style: the
+	// server's dump timestamp minus the request midpoint). Event times
+	// are corrected by subtracting it.
+	OffsetNS int64 `json:"offset_ns"`
+	// RTTNS is the debug fetch round-trip backing the offset estimate
+	// (its half-width bounds the offset error).
+	RTTNS   int64  `json:"rtt_ns"`
+	Events  int    `json:"events"`
+	Dropped int64  `json:"dropped"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Step is one provenance event on the collector's corrected clock.
+type Step struct {
+	Node     string `json:"node"`
+	Event    string `json:"event"`
+	Hop      int    `json:"hop"`
+	UnixNano int64  `json:"t"`
+	Bytes    int    `json:"bytes,omitempty"`
+	Cause    string `json:"cause,omitempty"`
+	Link     string `json:"link,omitempty"`
+}
+
+// Segment is one traversed link in a frame's journey: the time from
+// the parent having the frame ready to the child reading it off the
+// wire.
+type Segment struct {
+	// Link is "parent→child" in node names.
+	Link string `json:"link"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// LatencyNS is child received − parent ready (clamped at 0 when
+	// residual clock error inverts a fast hop).
+	LatencyNS int64 `json:"latency_ns"`
+	// AgeNS is the frame age at the child's receive (received − first
+	// origin event).
+	AgeNS int64 `json:"age_ns"`
+}
+
+// Journey is one frame's merged cross-process history.
+type Journey struct {
+	Trace    uint64    `json:"trace"`
+	Frame    uint32    `json:"frame"`
+	Steps    []Step    `json:"steps"`
+	Segments []Segment `json:"segments"`
+	// Slowest indexes the dominant segment (-1 when none).
+	Slowest int `json:"slowest"`
+	// EndToEndNS spans first origin event to last event anywhere.
+	EndToEndNS int64 `json:"end_to_end_ns"`
+}
+
+// LinkStat aggregates one link's SLO view across journeys.
+type LinkStat struct {
+	Link  string  `json:"link"`
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Drops counts dropped/replayed events recorded by the link's
+	// child, by cause.
+	Drops map[string]int `json:"drops,omitempty"`
+	// BudgetOK is the fraction of frames within the age budget at the
+	// child's receive (1 when no budget configured).
+	BudgetOK float64 `json:"budget_ok"`
+	// SlowestCount counts journeys where this link was the dominant
+	// latency contributor.
+	SlowestCount int `json:"slowest_count"`
+}
+
+// Report is a merged cross-tree provenance view.
+type Report struct {
+	Nodes    []NodeInfo    `json:"nodes"`
+	Journeys []Journey     `json:"journeys"`
+	Links    []LinkStat    `json:"links"`
+	Budget   time.Duration `json:"budget_ns"`
+}
+
+// Collector crawls /debug/frames across a tree and merges events by
+// trace identity with per-node clock correction.
+type Collector struct {
+	// Nodes to crawl (order is presentation order).
+	Nodes []NodeRef
+	// Client is the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// Budget is the frame-age SLO used for per-link compliance
+	// (0 = no budget, BudgetOK reports 1).
+	Budget time.Duration
+}
+
+// fetch grabs one node's dump and estimates its clock offset.
+func (c *Collector) fetch(ref NodeRef) (Dump, NodeInfo) {
+	info := NodeInfo{Name: ref.Name, URL: ref.URL}
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	t0 := time.Now()
+	resp, err := client.Get(ref.URL + "/debug/frames")
+	if err != nil {
+		info.Err = err.Error()
+		return Dump{}, info
+	}
+	defer resp.Body.Close()
+	var d Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		info.Err = err.Error()
+		return Dump{}, info
+	}
+	t1 := time.Now()
+	if info.Name == "" {
+		info.Name = d.Node
+	}
+	mid := t0.UnixNano() + (t1.UnixNano()-t0.UnixNano())/2
+	info.OffsetNS = d.NowUnixNano - mid
+	info.RTTNS = t1.UnixNano() - t0.UnixNano()
+	info.Events = len(d.Events)
+	info.Dropped = d.Dropped
+	return d, info
+}
+
+// Collect crawls every node and merges the dumps. Unreachable nodes
+// are reported in Nodes[].Err and skipped; Collect fails only when no
+// node answered.
+func (c *Collector) Collect() (*Report, error) {
+	rep := &Report{Budget: c.Budget}
+	type nodeDump struct {
+		ref  NodeRef
+		dump Dump
+		info NodeInfo
+	}
+	var dumps []nodeDump
+	for _, ref := range c.Nodes {
+		d, info := c.fetch(ref)
+		rep.Nodes = append(rep.Nodes, info)
+		if info.Err == "" {
+			dumps = append(dumps, nodeDump{ref: ref, dump: d, info: info})
+		}
+	}
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("provenance: no node answered (%d tried)", len(c.Nodes))
+	}
+
+	// Downstream listen address -> node name, for resolving the Link
+	// field on received events to the parent's name.
+	byAddr := map[string]string{}
+	for _, nd := range dumps {
+		if nd.ref.Addr != "" {
+			byAddr[nd.ref.Addr] = nd.info.Name
+		}
+	}
+
+	// Merge events by (trace, frame) on the collector's clock.
+	type key struct {
+		trace uint64
+		frame uint32
+	}
+	journeys := map[key]*Journey{}
+	var order []key
+	for _, nd := range dumps {
+		for _, ev := range nd.dump.Events {
+			k := key{ev.Trace, ev.Frame}
+			j := journeys[k]
+			if j == nil {
+				j = &Journey{Trace: ev.Trace, Frame: ev.Frame, Slowest: -1}
+				journeys[k] = j
+				order = append(order, k)
+			}
+			link := ev.Link
+			if name, ok := byAddr[link]; ok {
+				link = name
+			}
+			j.Steps = append(j.Steps, Step{
+				Node:     nd.info.Name,
+				Event:    ev.Event,
+				Hop:      ev.Hop,
+				UnixNano: ev.UnixNano - nd.info.OffsetNS,
+				Bytes:    ev.Bytes,
+				Cause:    ev.Cause,
+				Link:     link,
+			})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].trace != order[j].trace {
+			return order[i].trace < order[j].trace
+		}
+		return order[i].frame < order[j].frame
+	})
+
+	known := map[string]bool{}
+	for _, nd := range dumps {
+		known[nd.info.Name] = true
+	}
+	linkLat := map[string][]int64{}
+	linkAges := map[string][]int64{}
+	linkDrops := map[string]map[string]int{}
+	linkSlowest := map[string]int{}
+	for _, k := range order {
+		j := journeys[k]
+		sort.SliceStable(j.Steps, func(a, b int) bool {
+			if j.Steps[a].Hop != j.Steps[b].Hop {
+				return j.Steps[a].Hop < j.Steps[b].Hop
+			}
+			return j.Steps[a].UnixNano < j.Steps[b].UnixNano
+		})
+		j.Segments = segments(j, known)
+		first, last := j.Steps[0].UnixNano, j.Steps[0].UnixNano
+		for _, s := range j.Steps {
+			if s.UnixNano > last {
+				last = s.UnixNano
+			}
+		}
+		j.EndToEndNS = last - first
+		var worst int64 = -1
+		for i, seg := range j.Segments {
+			if seg.LatencyNS > worst {
+				worst, j.Slowest = seg.LatencyNS, i
+			}
+			linkLat[seg.Link] = append(linkLat[seg.Link], seg.LatencyNS)
+			linkAges[seg.Link] = append(linkAges[seg.Link], seg.AgeNS)
+		}
+		if j.Slowest >= 0 {
+			linkSlowest[j.Segments[j.Slowest].Link]++
+		}
+		// Drops and replay suppressions are charged to the link feeding
+		// the node that recorded them.
+		for _, s := range j.Steps {
+			if s.Event != EvDropped && s.Event != EvReplayed {
+				continue
+			}
+			link := upstreamLink(j, s.Node)
+			if link == "" {
+				link = s.Node
+			}
+			if linkDrops[link] == nil {
+				linkDrops[link] = map[string]int{}
+			}
+			cause := s.Cause
+			if cause == "" {
+				cause = s.Event
+			}
+			linkDrops[link][cause]++
+		}
+		rep.Journeys = append(rep.Journeys, *j)
+	}
+
+	names := make([]string, 0, len(linkLat))
+	for name := range linkLat {
+		names = append(names, name)
+	}
+	for name := range linkDrops {
+		if _, ok := linkLat[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lat := linkLat[name]
+		st := LinkStat{Link: name, Count: len(lat), Drops: linkDrops[name], BudgetOK: 1}
+		if len(lat) > 0 {
+			sorted := append([]int64(nil), lat...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			st.P50MS = ms(quantile(sorted, 0.50))
+			st.P95MS = ms(quantile(sorted, 0.95))
+			st.P99MS = ms(quantile(sorted, 0.99))
+		}
+		if c.Budget > 0 && len(linkAges[name]) > 0 {
+			ok := 0
+			for _, age := range linkAges[name] {
+				if time.Duration(age) <= c.Budget {
+					ok++
+				}
+			}
+			st.BudgetOK = float64(ok) / float64(len(linkAges[name]))
+		}
+		st.SlowestCount = linkSlowest[name]
+		rep.Links = append(rep.Links, st)
+	}
+	return rep, nil
+}
+
+// segments derives the traversed links of one journey: every received
+// step is bound to its parent via the Link address, and the segment
+// spans from the parent's readiness (its last pre-forward event) to
+// the child's receive. A Link that resolved to no known node (e.g.
+// the origin's ephemeral outbound port) falls back to the unique node
+// one hop upstream, when there is exactly one.
+func segments(j *Journey, known map[string]bool) []Segment {
+	// Per node: the time the frame was ready to forward. Priority:
+	// sent/relayed (the actual hand-off) > compressed > composited >
+	// received > rendered.
+	ready := map[string]int64{}
+	rank := map[string]int{EvRendered: 1, EvReceived: 2, EvComposited: 3, EvCompressed: 4, EvRelayed: 5, EvSent: 5}
+	bestRank := map[string]int{}
+	for _, s := range j.Steps {
+		rk := rank[s.Event]
+		if rk == 0 {
+			continue
+		}
+		// Prefer the highest-priority event; among equals the earliest
+		// (first send) marks readiness.
+		if rk > bestRank[s.Node] {
+			bestRank[s.Node] = rk
+			ready[s.Node] = s.UnixNano
+		}
+	}
+	// nodesAtHop supports the unresolved-link fallback.
+	nodesAtHop := map[int]map[string]bool{}
+	for _, s := range j.Steps {
+		if nodesAtHop[s.Hop] == nil {
+			nodesAtHop[s.Hop] = map[string]bool{}
+		}
+		nodesAtHop[s.Hop][s.Node] = true
+	}
+	origin := int64(0)
+	if len(j.Steps) > 0 {
+		origin = j.Steps[0].UnixNano
+	}
+	var segs []Segment
+	for _, s := range j.Steps {
+		if s.Event != EvReceived || s.Link == "" {
+			continue
+		}
+		from := s.Link
+		if !known[from] {
+			if up := nodesAtHop[s.Hop-1]; len(up) == 1 {
+				for name := range up {
+					from = name
+				}
+			}
+		}
+		start, have := ready[from]
+		lat := int64(0)
+		if have {
+			lat = s.UnixNano - start
+			if lat < 0 {
+				lat = 0
+			}
+		}
+		segs = append(segs, Segment{
+			Link:      from + "→" + s.Node,
+			From:      from,
+			To:        s.Node,
+			LatencyNS: lat,
+			AgeNS:     s.UnixNano - origin,
+		})
+	}
+	return segs
+}
+
+// upstreamLink finds the link feeding node in one journey ("" when the
+// node received nothing there).
+func upstreamLink(j *Journey, node string) string {
+	for _, seg := range j.Segments {
+		if seg.To == node {
+			return seg.Link
+		}
+	}
+	return ""
+}
+
+// Attribution returns the per-link stats ranked by how often each
+// link dominated a journey, then by p95 latency — element 0 is the
+// tree's bottleneck.
+func (r *Report) Attribution() []LinkStat {
+	out := append([]LinkStat(nil), r.Links...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SlowestCount != out[j].SlowestCount {
+			return out[i].SlowestCount > out[j].SlowestCount
+		}
+		return out[i].P95MS > out[j].P95MS
+	})
+	return out
+}
+
+// Spans renders the merged journeys as spans: one track per node
+// (the frame's residence there) and one per link (the wire+queue
+// crossing), all on the collector's corrected clock.
+func (r *Report) Spans() []obs.Span {
+	epoch := int64(0)
+	for _, j := range r.Journeys {
+		for _, s := range j.Steps {
+			if epoch == 0 || s.UnixNano < epoch {
+				epoch = s.UnixNano
+			}
+		}
+	}
+	var spans []obs.Span
+	for _, j := range r.Journeys {
+		first := map[string]int64{}
+		last := map[string]int64{}
+		events := map[string][]string{}
+		for _, s := range j.Steps {
+			if _, ok := first[s.Node]; !ok || s.UnixNano < first[s.Node] {
+				first[s.Node] = s.UnixNano
+			}
+			if s.UnixNano > last[s.Node] {
+				last[s.Node] = s.UnixNano
+			}
+			events[s.Node] = append(events[s.Node], s.Event)
+		}
+		name := fmt.Sprintf("frame %d", j.Frame)
+		for node, start := range first {
+			spans = append(spans, obs.Span{
+				Track: node,
+				Cat:   "provenance",
+				Name:  name,
+				Start: time.Duration(start - epoch),
+				End:   time.Duration(last[node] - epoch),
+				Args:  map[string]any{"trace": fmt.Sprintf("%016x", j.Trace), "events": events[node]},
+			})
+		}
+		for _, seg := range j.Segments {
+			end := first[seg.To]
+			spans = append(spans, obs.Span{
+				Track: "link " + seg.Link,
+				Cat:   "wan",
+				Name:  name,
+				Start: time.Duration(end - seg.LatencyNS - epoch),
+				End:   time.Duration(end - epoch),
+				Args:  map[string]any{"latency_ms": ms(seg.LatencyNS)},
+			})
+		}
+	}
+	return spans
+}
+
+// WriteChrome writes the merged cross-process trace in Chrome
+// trace-event JSON.
+func (r *Report) WriteChrome(w io.Writer) error {
+	return obs.WriteChrome(w, r.Spans())
+}
+
+// WriteWaterfalls renders up to max per-frame waterfalls as text:
+// each step indented by hop, each segment annotated, slowest marked.
+func (r *Report) WriteWaterfalls(w io.Writer, max int) {
+	for i, j := range r.Journeys {
+		if max > 0 && i >= max {
+			fmt.Fprintf(w, "... %d more frames\n", len(r.Journeys)-max)
+			return
+		}
+		fmt.Fprintf(w, "frame %d (trace %016x) end-to-end %.1f ms\n", j.Frame, j.Trace, ms(j.EndToEndNS))
+		start := int64(0)
+		if len(j.Steps) > 0 {
+			start = j.Steps[0].UnixNano
+		}
+		for _, s := range j.Steps {
+			detail := ""
+			if s.Bytes > 0 {
+				detail = fmt.Sprintf(" %dB", s.Bytes)
+			}
+			if s.Cause != "" {
+				detail += " (" + s.Cause + ")"
+			}
+			fmt.Fprintf(w, "  %8.1fms %*s%s %s%s\n", ms(s.UnixNano-start), 2*s.Hop, "", s.Node, s.Event, detail)
+		}
+		for si, seg := range j.Segments {
+			mark := ""
+			if si == j.Slowest {
+				mark = "  <-- slowest hop"
+			}
+			fmt.Fprintf(w, "  link %-28s %8.1f ms%s\n", seg.Link, ms(seg.LatencyNS), mark)
+		}
+	}
+}
+
+// Instrument registers the report's per-link SLO series on a metrics
+// registry: hop-latency quantiles, budget compliance, drop causes.
+// The report is captured by value at registration; re-registering
+// after a fresh Collect replaces nothing — prefer collecting first,
+// then instrumenting the final report.
+func (r *Report) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	links := append([]LinkStat(nil), r.Links...)
+	reg.Collect(func(emit obs.Emit) {
+		for _, l := range links {
+			emit(fmt.Sprintf("provenance_link_latency_ms{link=%q,quantile=\"0.5\"}", l.Link),
+				"Per-link frame hop latency quantiles.", "gauge", l.P50MS)
+			emit(fmt.Sprintf("provenance_link_latency_ms{link=%q,quantile=\"0.95\"}", l.Link),
+				"Per-link frame hop latency quantiles.", "gauge", l.P95MS)
+			emit(fmt.Sprintf("provenance_link_latency_ms{link=%q,quantile=\"0.99\"}", l.Link),
+				"Per-link frame hop latency quantiles.", "gauge", l.P99MS)
+			emit(fmt.Sprintf("provenance_link_frames{link=%q}", l.Link),
+				"Frames observed crossing the link.", "counter", float64(l.Count))
+			emit(fmt.Sprintf("provenance_link_budget_ok{link=%q}", l.Link),
+				"Fraction of frames within the age budget at the link's child.", "gauge", l.BudgetOK)
+			emit(fmt.Sprintf("provenance_link_slowest{link=%q}", l.Link),
+				"Journeys where the link was the dominant latency contributor.", "counter", float64(l.SlowestCount))
+			for cause, n := range l.Drops {
+				emit(fmt.Sprintf("provenance_link_drops{link=%q,cause=%q}", l.Link, cause),
+					"Frames dropped or replay-suppressed at the link's child, by cause.", "counter", float64(n))
+			}
+		}
+	})
+}
+
+// quantile reads a quantile from an ascending-sorted slice.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
@@ -43,6 +44,14 @@ import (
 type Config struct {
 	// Name labels the node in status output and logs.
 	Name string
+	// Tier is the node's depth in the tree (root daemon = 0); it
+	// labels the node's metrics so scrapes from different tiers are
+	// distinguishable without host inference.
+	Tier int
+	// Prov, when set, records per-frame provenance events (upstream
+	// receives, dedup suppressions, and the embedded broker's encode/
+	// send/drop lifecycle) for the /debug/frames surface.
+	Prov *provenance.Log
 	// Parents is the upstream preference order: the parent first, then
 	// re-parent targets (grandparent, root, explicit fallbacks). At
 	// least one address is required.
@@ -184,6 +193,9 @@ func NewNode(ln net.Listener, cfg Config) (*Node, error) {
 	if cfg.Logf != nil {
 		n.log.SetFunc(cfg.Logf)
 	}
+	if cfg.Prov != nil {
+		n.broker.SetProvenance(cfg.Prov)
+	}
 	n.broker.SetControlForward(n.forwardControl)
 	n.wg.Add(2)
 	go func() {
@@ -214,6 +226,10 @@ func (n *Node) Broker() *stream.Broker { return n.broker }
 
 // Stats exposes the node counters.
 func (n *Node) Stats() *NodeStats { return &n.stats }
+
+// Provenance exposes the node's frame-provenance log (nil when not
+// configured).
+func (n *Node) Provenance() *provenance.Log { return n.cfg.Prov }
 
 // Logger exposes the node's component logger.
 func (n *Node) Logger() *obs.Logger { return n.log }
@@ -258,23 +274,29 @@ func (n *Node) Status() Status {
 }
 
 // Instrument registers the node's counters on a metrics registry along
-// with its broker's.
+// with its broker's. Every relay series carries the node's name and
+// tier as constant labels, so scrapes collected across a tree are
+// distinguishable without host inference.
 func (n *Node) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	labels := fmt.Sprintf(`{node=%q,tier="%d"}`, n.cfg.Name, n.cfg.Tier)
 	st := &n.stats
-	reg.CounterFunc("relay_frames_in_total", "Frames completed from the upstream parent.", st.FramesIn.Load)
-	reg.CounterFunc("relay_dup_dropped_total", "Duplicate frames dropped after re-parenting.", st.DupDropped.Load)
-	reg.CounterFunc("relay_reparents_total", "Successful attaches to a different parent.", st.Reparents.Load)
-	reg.CounterFunc("relay_failed_parents_total", "Parents given up on after exhausting reconnect attempts.", st.FailedParents.Load)
-	reg.CounterFunc("relay_acks_sent_total", "Receive reports sent upstream.", st.AcksSent.Load)
-	reg.CounterFunc("relay_controls_forwarded_total", "User-control messages forwarded upstream.", st.ControlsForwarded.Load)
-	reg.GaugeFunc("relay_connected", "1 while attached to a parent.", func() float64 {
+	reg.CounterFunc("relay_frames_in_total"+labels, "Frames completed from the upstream parent.", st.FramesIn.Load)
+	reg.CounterFunc("relay_dup_dropped_total"+labels, "Duplicate frames dropped after re-parenting.", st.DupDropped.Load)
+	reg.CounterFunc("relay_reparents_total"+labels, "Successful attaches to a different parent.", st.Reparents.Load)
+	reg.CounterFunc("relay_failed_parents_total"+labels, "Parents given up on after exhausting reconnect attempts.", st.FailedParents.Load)
+	reg.CounterFunc("relay_acks_sent_total"+labels, "Receive reports sent upstream.", st.AcksSent.Load)
+	reg.CounterFunc("relay_controls_forwarded_total"+labels, "User-control messages forwarded upstream.", st.ControlsForwarded.Load)
+	reg.GaugeFunc("relay_connected"+labels, "1 while attached to a parent.", func() float64 {
 		if n.Parent() != "" {
 			return 1
 		}
 		return 0
+	})
+	reg.GaugeFunc("relay_tier"+fmt.Sprintf(`{node=%q}`, n.cfg.Name), "The node's depth in the relay tree (root = 0).", func() float64 {
+		return float64(n.cfg.Tier)
 	})
 	n.broker.Instrument(reg)
 }
@@ -336,7 +358,7 @@ func (n *Node) upstreamLoop() {
 		for m := range sess.Inbox() {
 			switch m.Type {
 			case transport.MsgImage:
-				n.onImage(m.Payload)
+				n.onImage(m)
 			}
 		}
 		// Terminal session end: the parent stayed dead through the
@@ -396,7 +418,8 @@ func (n *Node) pause(d time.Duration) {
 // suppressing frames already delivered (a fresh parent replays its
 // recent frames after a re-parent) and acking completed frames so the
 // parent's estimator sees this link's round trip.
-func (n *Node) onImage(payload []byte) {
+func (n *Node) onImage(m transport.Message) {
+	payload, tc := m.Payload, m.Trace
 	im, err := transport.UnmarshalImage(payload)
 	if err != nil {
 		n.log.Warnf("bad upstream image: %v", err)
@@ -404,10 +427,22 @@ func (n *Node) onImage(payload []byte) {
 	}
 	if n.alreadyDelivered(im.FrameID) {
 		n.stats.DupDropped.Add(1)
+		if tc != nil {
+			n.cfg.Prov.Record(provenance.Event{
+				Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+				Event: provenance.EvReplayed, Cause: "dup", Link: n.Parent(),
+			})
+		}
 		return
 	}
 	n.stats.PiecesIn.Add(1)
-	id, completed := n.broker.IngestImage(payload)
+	if tc != nil {
+		n.cfg.Prov.Record(provenance.Event{
+			Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+			Event: provenance.EvReceived, Bytes: len(payload), Link: n.Parent(),
+		})
+	}
+	id, completed := n.broker.IngestImage(payload, tc)
 	if !completed {
 		return
 	}

@@ -218,8 +218,8 @@ func TestNodeDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.onImage(payload)
-	n.onImage(payload) // replay after a simulated re-parent
+	n.onImage(transport.Message{Type: transport.MsgImage, Payload: payload})
+	n.onImage(transport.Message{Type: transport.MsgImage, Payload: payload}) // replay after a simulated re-parent
 	if got := n.Stats().FramesIn.Load(); got != 1 {
 		t.Fatalf("frames in = %d, want 1", got)
 	}

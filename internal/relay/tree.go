@@ -2,8 +2,10 @@ package relay
 
 import (
 	"fmt"
+	"net"
 	"time"
 
+	"repro/internal/obs/provenance"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
@@ -24,6 +26,15 @@ type TreeSpec struct {
 	PeerTimeout     time.Duration
 	FailoverBackoff time.Duration
 	DedupWindow     int
+	// WrapUpstreamFor, when set, supplies the upstream dial wrapper for
+	// the node at (tier, index) — the hook the status experiment uses to
+	// impair exactly one interior link with fault injection. nil (or a
+	// nil return) leaves that node's upstream socket raw.
+	WrapUpstreamFor func(tier, index int) func(net.Conn) net.Conn
+	// Provenance, when true, gives the root broker and every relay node
+	// a frame-provenance log (named after the node) retained on the
+	// tree for collectors.
+	Provenance bool
 	// Logf receives node diagnostics (nil silences).
 	Logf func(format string, args ...any)
 }
@@ -34,6 +45,10 @@ type TreeSpec struct {
 type Tree struct {
 	Root   *stream.Broker
 	Levels [][]*Node
+	// RootProv is the root broker's provenance log (nil unless the
+	// spec asked for provenance); relay nodes carry theirs in
+	// Config.Prov.
+	RootProv *provenance.Log
 }
 
 // BuildTree stands a tree up on loopback listeners: the root broker
@@ -51,6 +66,10 @@ func BuildTree(spec TreeSpec) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{Root: root}
+	if spec.Provenance {
+		t.RootProv = provenance.NewLog("root", 0)
+		root.SetProvenance(t.RootProv)
+	}
 	// ancestry[level][i] is node i's own ancestor chain (self first).
 	prevAncestry := [][]string{{root.Addr().String()}}
 	for level := 1; level < spec.Tiers; level++ {
@@ -62,8 +81,10 @@ func BuildTree(spec TreeSpec) (*Tree, error) {
 		ancestry := make([][]string, 0, count)
 		for i := 0; i < count; i++ {
 			parents := prevAncestry[i/spec.FanOut]
-			n, err := ListenAndServe("127.0.0.1:0", Config{
-				Name:            fmt.Sprintf("t%d-n%d", level, i),
+			name := fmt.Sprintf("t%d-n%d", level, i)
+			cfg := Config{
+				Name:            name,
+				Tier:            level,
 				Parents:         append([]string(nil), parents...),
 				Stream:          spec.Stream,
 				Retry:           spec.Retry,
@@ -72,7 +93,14 @@ func BuildTree(spec TreeSpec) (*Tree, error) {
 				FailoverBackoff: spec.FailoverBackoff,
 				DedupWindow:     spec.DedupWindow,
 				Logf:            spec.Logf,
-			})
+			}
+			if spec.WrapUpstreamFor != nil {
+				cfg.WrapUpstream = spec.WrapUpstreamFor(level, i)
+			}
+			if spec.Provenance {
+				cfg.Prov = provenance.NewLog(name, 0)
+			}
+			n, err := ListenAndServe("127.0.0.1:0", cfg)
 			if err != nil {
 				t.Close()
 				return nil, err

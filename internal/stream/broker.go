@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/transport"
 )
 
@@ -30,6 +32,8 @@ type BrokerStats struct {
 	// ControlsRouted counts user-control messages relayed to
 	// renderers.
 	ControlsRouted atomic.Int64
+	// CorruptDropped counts inbound messages dropped on CRC failure.
+	CorruptDropped atomic.Int64
 }
 
 // Broker is the adaptive display daemon: renderers stream frames in
@@ -66,6 +70,13 @@ type Broker struct {
 	ifdH    atomic.Pointer[obs.Histogram]
 	lastOut atomic.Int64 // unix nanos of the previous frame send
 
+	// prov records per-frame provenance events when set (nil-safe),
+	// and traces maps completed frame IDs to their wire trace context
+	// so senders re-attach it (hop-bumped) on fan-out.
+	prov    atomic.Pointer[provenance.Log]
+	traceMu sync.Mutex
+	traces  map[uint32]*transport.TraceCtx
+
 	stats BrokerStats
 	wg    sync.WaitGroup
 }
@@ -73,6 +84,7 @@ type Broker struct {
 type rendererPeer struct {
 	id   int
 	conn net.Conn
+	fr   transport.Framer
 	wmu  sync.Mutex
 }
 
@@ -81,6 +93,7 @@ type client struct {
 	id     int
 	remote string
 	conn   net.Conn
+	fr     transport.Framer
 	est    *Estimator
 	ctrl   *Controller
 	pacer  *Pacer
@@ -131,6 +144,7 @@ func NewBroker(cfg Config) *Broker {
 		log:       obs.NewLogger("broker"),
 		clients:   map[int]*client{},
 		renderers: map[int]*rendererPeer{},
+		traces:    map[uint32]*transport.TraceCtx{},
 	}
 	if cfg.Logf != nil {
 		// Compatibility shim: Config.Logf routes the leveled component
@@ -209,6 +223,7 @@ func (b *Broker) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("broker_bytes_out_total", "Frame payload bytes delivered to display clients.", st.BytesOut.Load)
 	reg.CounterFunc("broker_drops_total", "Frames discarded by per-client pacers.", st.Drops.Load)
 	reg.CounterFunc("broker_controls_routed_total", "User-control messages relayed to renderers.", st.ControlsRouted.Load)
+	reg.CounterFunc("broker_corrupt_dropped_total", "Inbound messages dropped on wire CRC failure.", st.CorruptDropped.Load)
 	cs := b.cache.Stats()
 	reg.CounterFunc("broker_cache_hits_total", "Encode fan-out cache hits.", cs.Hits.Load)
 	reg.CounterFunc("broker_cache_misses_total", "Encode fan-out cache misses.", cs.Misses.Load)
@@ -320,19 +335,28 @@ func (b *Broker) handle(conn net.Conn) {
 		b.log.Warnf("bad handshake from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
-	role := transport.Role(hello.Payload[0])
+	role, peerVer, err := transport.ParseHello(hello.Payload)
+	if err != nil {
+		b.log.Warnf("bad hello from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	// Hellos and welcomes travel in legacy framing; the negotiated
+	// version applies from the first message after them, exactly like
+	// the plain daemon's handshake. Legacy single-byte hellos negotiate
+	// v1, so pre-negotiation peers connect unchanged.
+	fr := transport.Framer{Version: transport.NegotiateVersion(transport.ProtoV3, peerVer)}
 	switch role {
 	case transport.RoleRenderer:
-		b.handleRenderer(conn)
+		b.handleRenderer(conn, fr)
 	case transport.RoleDisplay:
-		b.handleDisplay(conn)
+		b.handleDisplay(conn, fr)
 	default:
 		b.log.Warnf("unknown role %d", role)
 	}
 }
 
-func (b *Broker) handleRenderer(conn net.Conn) {
-	r := &rendererPeer{conn: conn}
+func (b *Broker) handleRenderer(conn net.Conn, fr transport.Framer) {
+	r := &rendererPeer{conn: conn, fr: fr}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -352,24 +376,38 @@ func (b *Broker) handleRenderer(conn net.Conn) {
 		b.mu.Unlock()
 		b.log.Infof("renderer %d disconnected", r.id)
 	}()
-	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: []byte{byte(transport.RoleRenderer)}}); err != nil {
+	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: transport.HelloPayload(transport.RoleRenderer, fr.Version)}); err != nil {
 		return
 	}
-	b.log.Infof("renderer %d connected from %v", r.id, conn.RemoteAddr())
+	b.log.Infof("renderer %d connected from %v (proto v%d)", r.id, conn.RemoteAddr(), fr.Version+1)
+	remote := fmt.Sprint(conn.RemoteAddr())
 	for {
-		m, err := transport.ReadMessage(conn)
+		m, err := r.fr.ReadMessage(conn)
 		if err != nil {
+			if errors.Is(err, transport.ErrChecksum) {
+				// Stream stays frame-aligned past a CRC failure: drop the
+				// corrupt message and keep serving.
+				b.stats.CorruptDropped.Add(1)
+				b.log.Warnf("corrupt message from renderer %d dropped", r.id)
+				continue
+			}
 			return
 		}
 		switch m.Type {
 		case transport.MsgImage:
-			b.ingest(m.Payload)
+			if tc := m.Trace; tc != nil {
+				b.prov.Load().Record(provenance.Event{
+					Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+					Event: provenance.EvReceived, Bytes: len(m.Payload), Link: remote,
+				})
+			}
+			b.ingest(m.Payload, m.Trace)
 		case transport.MsgAdvertise:
 			b.setAdvertised(transport.UnmarshalAdvertise(m.Payload))
 		case transport.MsgPing:
 			// Liveness probe from a reconnect-capable server.
 			r.wmu.Lock()
-			_ = transport.WriteMessage(conn, transport.Message{Type: transport.MsgPong, Payload: m.Payload})
+			_ = r.fr.WriteMessage(conn, transport.Message{Type: transport.MsgPong, Payload: m.Payload})
 			r.wmu.Unlock()
 		case transport.MsgBye:
 			return
@@ -396,19 +434,52 @@ func (b *Broker) setAdvertised(families []string) {
 	b.log.Infof("renderer advertises %v", families)
 }
 
+// SetProvenance attaches a frame-provenance log: ingest, encode, send
+// and drop points record lifecycle events against the wire trace
+// context, and senders forward the context hop-bumped. Safe to call
+// while serving; nil detaches.
+func (b *Broker) SetProvenance(l *provenance.Log) { b.prov.Store(l) }
+
+// noteTrace remembers a completed frame's trace context for the
+// senders, bounded to a recent-frame window.
+func (b *Broker) noteTrace(frameID uint32, tc *transport.TraceCtx) {
+	if tc == nil {
+		return
+	}
+	b.traceMu.Lock()
+	b.traces[frameID] = tc
+	if len(b.traces) > 256 {
+		for id := range b.traces {
+			if id+128 < frameID {
+				delete(b.traces, id)
+			}
+		}
+	}
+	b.traceMu.Unlock()
+}
+
+// traceFor recalls a frame's trace context (nil when untraced).
+func (b *Broker) traceFor(frameID uint32) *transport.TraceCtx {
+	b.traceMu.Lock()
+	defer b.traceMu.Unlock()
+	return b.traces[frameID]
+}
+
 // IngestImage feeds one marshaled image piece into the broker exactly
 // as if it had arrived from a connected renderer, reporting the piece's
 // frame ID and whether it completed a frame. It is the relay node's
 // input path: frames received from the upstream daemon are re-served to
-// this broker's own clients.
-func (b *Broker) IngestImage(payload []byte) (frameID uint32, completed bool) {
-	return b.ingest(payload)
+// this broker's own clients. tc is the piece's wire trace context (nil
+// when untraced); the caller is expected to have recorded its own
+// received event already.
+func (b *Broker) IngestImage(payload []byte, tc *transport.TraceCtx) (frameID uint32, completed bool) {
+	return b.ingest(payload, tc)
 }
 
 // ingest decodes one renderer image piece; when it completes a frame,
 // the frame is offered to every client's pacer (never blocking — a
 // full queue drops its oldest frame).
-func (b *Broker) ingest(payload []byte) (uint32, bool) {
+func (b *Broker) ingest(payload []byte, tc *transport.TraceCtx) (uint32, bool) {
 	defer b.tracer.Load().Begin("broker", "stream", "ingest")()
 	im, err := transport.UnmarshalImage(payload)
 	if err != nil {
@@ -425,6 +496,13 @@ func (b *Broker) ingest(payload []byte) (uint32, bool) {
 		return im.FrameID, false
 	}
 	b.stats.FramesIn.Add(1)
+	b.noteTrace(fr.ID, tc)
+	if tc != nil {
+		b.prov.Load().Record(provenance.Event{
+			Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+			Event: provenance.EvDecoded,
+		})
+	}
 	sf := &SourceFrame{ID: fr.ID, Image: fr.Image}
 	b.mu.Lock()
 	clients := make([]*client, 0, len(b.clients))
@@ -433,18 +511,23 @@ func (b *Broker) ingest(payload []byte) (uint32, bool) {
 	}
 	b.mu.Unlock()
 	for _, c := range clients {
-		before := c.pacer.Drops()
-		c.pacer.Offer(sf)
-		if d := c.pacer.Drops() - before; d > 0 {
-			b.stats.Drops.Add(d)
+		if _, dropped := c.pacer.Offer(sf); dropped != nil {
+			b.stats.Drops.Add(1)
+			if dtc := b.traceFor(dropped.ID); dtc != nil {
+				b.prov.Load().Record(provenance.Event{
+					Trace: dtc.TraceID, Frame: dtc.FrameID, Hop: int(dtc.Hop),
+					Event: provenance.EvDropped, Cause: "pacer-full",
+				})
+			}
 		}
 	}
 	return fr.ID, true
 }
 
-func (b *Broker) handleDisplay(conn net.Conn) {
+func (b *Broker) handleDisplay(conn net.Conn, fr transport.Framer) {
 	c := &client{
 		conn:   conn,
+		fr:     fr,
 		est:    NewEstimator(b.cfg.Alpha),
 		pacer:  NewPacer(b.cfg.QueueDepth),
 		gauges: metrics.NewGaugeSet(),
@@ -474,10 +557,10 @@ func (b *Broker) handleDisplay(conn net.Conn) {
 		c.pacer.Close()
 		b.log.Infof("display %d disconnected", c.id)
 	}()
-	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: []byte{byte(transport.RoleDisplay)}}); err != nil {
+	if err := transport.WriteMessage(conn, transport.Message{Type: transport.MsgHello, Payload: transport.HelloPayload(transport.RoleDisplay, fr.Version)}); err != nil {
 		return
 	}
-	b.log.Infof("display %d connected from %v", c.id, c.remote)
+	b.log.Infof("display %d connected from %v (proto v%d)", c.id, c.remote, fr.Version+1)
 
 	b.wg.Add(1)
 	go func() {
@@ -486,8 +569,13 @@ func (b *Broker) handleDisplay(conn net.Conn) {
 	}()
 
 	for {
-		m, err := transport.ReadMessage(conn)
+		m, err := c.fr.ReadMessage(conn)
 		if err != nil {
+			if errors.Is(err, transport.ErrChecksum) {
+				b.stats.CorruptDropped.Add(1)
+				b.log.Warnf("corrupt message from display %d dropped", c.id)
+				continue
+			}
 			return
 		}
 		switch m.Type {
@@ -500,7 +588,7 @@ func (b *Broker) handleDisplay(conn net.Conn) {
 		case transport.MsgPing:
 			// Liveness probe from a reconnect-capable viewer.
 			c.wmu.Lock()
-			_ = transport.WriteMessage(conn, transport.Message{Type: transport.MsgPong, Payload: m.Payload})
+			_ = c.fr.WriteMessage(conn, transport.Message{Type: transport.MsgPong, Payload: m.Payload})
 			c.wmu.Unlock()
 		case transport.MsgBye:
 			return
@@ -540,7 +628,7 @@ func (b *Broker) routeToRenderers(m transport.Message) {
 	b.mu.Unlock()
 	for _, r := range rends {
 		r.wmu.Lock()
-		err := transport.WriteMessage(r.conn, m)
+		err := r.fr.WriteMessage(r.conn, m)
 		r.wmu.Unlock()
 		if err == nil {
 			b.stats.ControlsRouted.Add(1)
@@ -594,6 +682,13 @@ func (b *Broker) sender(c *client) {
 			b.log.Warnf("encode frame %d at %s: %v", sf.ID, point, err)
 			continue
 		}
+		tc := b.traceFor(sf.ID)
+		if tc != nil {
+			b.prov.Load().Record(provenance.Event{
+				Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+				Event: provenance.EvCompressed, Bytes: len(data), Cause: point.String(),
+			})
+		}
 		c.ctrl.ObserveSize(point, len(data))
 		im := &transport.ImageMsg{
 			FrameID:    sf.ID,
@@ -623,10 +718,18 @@ func (b *Broker) sender(c *client) {
 			}
 		}
 		c.sentMu.Unlock()
+		out := transport.Message{Type: transport.MsgImage, Payload: payload}
+		if tc != nil {
+			// Forward the trace at the next hop ordinal; the v1/v2
+			// framer strips it for pre-trace clients.
+			fwd := *tc
+			fwd.Hop++
+			out.Trace = &fwd
+		}
 		t0 := time.Now()
 		endSend := tr.Begin(track, "stream", "send", "frame", sf.ID, "bytes", len(payload))
 		c.wmu.Lock()
-		err = transport.WriteMessage(c.conn, transport.Message{Type: transport.MsgImage, Payload: payload})
+		err = c.fr.WriteMessage(c.conn, out)
 		c.wmu.Unlock()
 		if err != nil {
 			endSend()
@@ -634,6 +737,12 @@ func (b *Broker) sender(c *client) {
 			return
 		}
 		endSend()
+		if tc != nil {
+			b.prov.Load().Record(provenance.Event{
+				Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+				Event: provenance.EvSent, Bytes: len(payload), Link: c.remote,
+			})
+		}
 		sendTime := time.Since(t0)
 		b.sendH.Load().ObserveDuration(sendTime)
 		now := time.Now().UnixNano()

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,4 +156,55 @@ func TestBrokerRendererConnectBumpsGeneration(t *testing.T) {
 	ep2 := dial()
 	defer ep2.Close()
 	waitGen(2)
+}
+
+// TestCacheConcurrentBumpAndEncode races GetOrEncode against
+// BumpGeneration from many goroutines (run under -race): every lookup
+// must return bytes from its own generation's encode, never a stale
+// entry, and the cache must stay within capacity.
+func TestCacheConcurrentBumpAndEncode(t *testing.T) {
+	c := NewEncodeCache(8)
+	p := Point{Codec: "jpeg", Quality: 50}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.BumpGeneration()
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := uint32(0); ; id++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen := c.Generation()
+				want := []byte{byte(gen), byte(id % 4)}
+				got, err := c.GetOrEncode(id%4, p, func() ([]byte, error) { return want, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// A hit may come from a neighboring generation when a bump
+				// races the lookup, but the frame-ID byte must always match
+				// — a mismatch is a cross-key collision.
+				if len(got) != 2 || got[1] != byte(id%4) {
+					t.Errorf("frame %d served bytes for frame %d", id%4, got[1])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > 8*4 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
 }

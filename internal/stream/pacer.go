@@ -36,20 +36,23 @@ func NewPacer(depth int) *Pacer {
 }
 
 // Offer enqueues a frame, dropping the oldest when full. It reports
-// whether the frame was accepted (false only after Close).
-func (p *Pacer) Offer(f *SourceFrame) bool {
+// whether the frame was accepted (false only after Close) and which
+// frame was evicted to make room (nil when none), so callers can
+// attribute the drop to the right frame.
+func (p *Pacer) Offer(f *SourceFrame) (accepted bool, dropped *SourceFrame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return false
+		return false, nil
 	}
 	if len(p.q) >= p.depth {
+		dropped = p.q[0]
 		p.q = p.q[1:]
 		p.drops++
 	}
 	p.q = append(p.q, f)
 	p.cond.Signal()
-	return true
+	return true, dropped
 }
 
 // Next blocks for the next frame; ok is false once the pacer is closed

@@ -194,7 +194,7 @@ func TestPacerDropsOldestNeverBlocks(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 100; i++ {
-			if !p.Offer(&SourceFrame{ID: uint32(i)}) {
+			if ok, _ := p.Offer(&SourceFrame{ID: uint32(i)}); !ok {
 				t.Error("offer rejected before close")
 				return
 			}
@@ -239,7 +239,7 @@ func TestPacerCloseUnblocksNext(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Next never unblocked")
 	}
-	if p.Offer(&SourceFrame{ID: 1}) {
+	if ok, _ := p.Offer(&SourceFrame{ID: 1}); ok {
 		t.Fatal("Offer accepted after close")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 )
 
 // Daemon is the display daemon: it accepts any number of renderer and
@@ -59,6 +60,9 @@ type Daemon struct {
 	// the previous forward time. Both behind mu.
 	ifd         *obs.Histogram
 	lastForward time.Time
+
+	// prov records per-frame provenance events when set (nil-safe).
+	prov atomic.Pointer[provenance.Log]
 
 	log   *obs.Logger
 	stats DaemonStats
@@ -245,6 +249,11 @@ func (d *Daemon) Health() []PeerHealth {
 	return out
 }
 
+// SetProvenance installs a frame-provenance log: traced images are
+// recorded as received when read and relayed/dropped as they are
+// forwarded. Safe to call while serving; nil disables.
+func (d *Daemon) SetProvenance(l *provenance.Log) { d.prov.Store(l) }
+
 // SetLogf installs a diagnostics sink (nil silences); safe to call
 // while serving. It is a compatibility shim over the daemon's leveled
 // obs.Logger — see Logger for level control.
@@ -383,7 +392,7 @@ func (d *Daemon) handle(conn net.Conn) {
 		d.log.Warnf("unknown role %d", role)
 		return
 	}
-	ver := NegotiateVersion(ProtoV2, peerVer)
+	ver := NegotiateVersion(ProtoV3, peerVer)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -471,6 +480,12 @@ func (d *Daemon) handle(conn net.Conn) {
 				d.log.Warnf("image from display %d ignored", p.id)
 				continue
 			}
+			if tc := m.Trace; tc != nil {
+				d.prov.Load().Record(provenance.Event{
+					Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+					Event: provenance.EvReceived, Bytes: len(m.Payload), Link: p.remote,
+				})
+			}
 			d.forwardToDisplays(m)
 		case MsgControl:
 			if role != RoleDisplay {
@@ -503,8 +518,19 @@ func (d *Daemon) handle(conn net.Conn) {
 }
 
 // forwardToDisplays enqueues an image for every display, dropping the
-// oldest queued message when a display's buffer is full.
+// oldest queued message when a display's buffer is full. A traced
+// image is forwarded at the next hop ordinal.
 func (d *Daemon) forwardToDisplays(m Message) {
+	prov := d.prov.Load()
+	if tc := m.Trace; tc != nil {
+		fwd := *tc
+		fwd.Hop++
+		m.Trace = &fwd
+		prov.Record(provenance.Event{
+			Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+			Event: provenance.EvRelayed, Bytes: len(m.Payload),
+		})
+	}
 	d.mu.Lock()
 	targets := make([]*peer, 0, len(d.displays))
 	for _, p := range d.displays {
@@ -528,8 +554,14 @@ func (d *Daemon) forwardToDisplays(m Message) {
 			default:
 				// Buffer full: drop the oldest and retry.
 				select {
-				case <-p.out:
+				case dropped := <-p.out:
 					d.stats.ImagesDropped.Add(1)
+					if tc := dropped.Trace; tc != nil {
+						prov.Record(provenance.Event{
+							Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
+							Event: provenance.EvDropped, Cause: "buffer-full",
+						})
+					}
 				default:
 				}
 				continue

@@ -77,7 +77,7 @@ func Dial(addr string, role Role, wrap func(net.Conn) net.Conn) (*Endpoint, erro
 // applies from the first message after them.
 func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
 	e := &Endpoint{conn: conn, role: role, inbox: make(chan Message, 64), done: make(chan struct{})}
-	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: HelloPayload(role, ProtoV2)}); err != nil {
+	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: HelloPayload(role, ProtoV3)}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
 		return nil, fmt.Errorf("transport: unexpected handshake reply type %d", welcome.Type)
 	}
 	if _, v, err := ParseHello(welcome.Payload); err == nil {
-		e.fr = Framer{Version: NegotiateVersion(ProtoV2, v)}
+		e.fr = Framer{Version: NegotiateVersion(ProtoV3, v)}
 	}
 	e.lastRecv.Store(time.Now().UnixNano())
 	go e.readLoop()

@@ -76,10 +76,66 @@ const (
 	// trailer over type+flags+payload, so corrupted frames are
 	// detected and dropped instead of displayed.
 	ProtoV2 byte = 1
+	// ProtoV3 adds an optional trace-context block (flagTrace) between
+	// header and payload: trace ID, frame ID, hop ordinal and origin
+	// timestamp, so every process a frame crosses can log provenance
+	// events against a shared identity. V2 peers never see the block —
+	// a v3 framer only emits it on v3-negotiated links, so tracing and
+	// non-tracing peers interoperate.
+	ProtoV3 byte = 2
 )
 
-// v2 header flag bits.
-const flagCRC byte = 1 << 0
+// v2+ header flag bits.
+const (
+	flagCRC   byte = 1 << 0
+	flagTrace byte = 1 << 1
+)
+
+// traceCtxSize is the wire size of a TraceCtx block.
+const traceCtxSize = 21
+
+// TraceCtx is the compact per-frame trace context carried in v3
+// framing: enough identity to correlate provenance events recorded by
+// every process the frame crosses, cheap enough to ride every image
+// message.
+type TraceCtx struct {
+	// TraceID identifies the originating stream (one render session);
+	// random per origin process.
+	TraceID uint64
+	// FrameID is the frame sequence number within the trace.
+	FrameID uint32
+	// Hop counts forwarding steps from the origin (renderer = 0); each
+	// re-forwarder increments it.
+	Hop uint8
+	// OriginUnixNano is the origin's wall clock when the frame left the
+	// renderer, used for end-to-end frame-age budgets.
+	OriginUnixNano int64
+}
+
+// appendTo serializes the trace context.
+func (t *TraceCtx) appendTo(out []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], t.TraceID)
+	out = append(out, b[:]...)
+	binary.BigEndian.PutUint32(b[:4], t.FrameID)
+	out = append(out, b[:4]...)
+	out = append(out, t.Hop)
+	binary.BigEndian.PutUint64(b[:], uint64(t.OriginUnixNano))
+	return append(out, b[:]...)
+}
+
+// parseTraceCtx deserializes a trace-context block.
+func parseTraceCtx(p []byte) (*TraceCtx, error) {
+	if len(p) < traceCtxSize {
+		return nil, ErrTruncated
+	}
+	return &TraceCtx{
+		TraceID:        binary.BigEndian.Uint64(p),
+		FrameID:        binary.BigEndian.Uint32(p[8:]),
+		Hop:            p[12],
+		OriginUnixNano: int64(binary.BigEndian.Uint64(p[13:])),
+	}, nil
+}
 
 // maxMessage bounds a wire message to keep a corrupt length prefix
 // from exhausting memory (64 MiB fits a raw 2048^2 frame with room).
@@ -100,6 +156,11 @@ var ErrChecksum = errors.New("transport: message checksum mismatch")
 type Message struct {
 	Type    MsgType
 	Payload []byte
+	// Trace is the optional provenance context. It is carried on the
+	// wire only at ProtoV3; lower-version framers silently strip it, so
+	// tracing peers interoperate with v2/v1 peers (frames flow, the
+	// trace just ends at the downgrade boundary).
+	Trace *TraceCtx
 }
 
 // WriteMessage frames and writes a message in legacy (v1) framing.
@@ -114,14 +175,17 @@ func ReadMessage(r io.Reader) (Message, error) {
 
 // Framer frames messages at a negotiated protocol version. The zero
 // value speaks ProtoV1 (the legacy 5-byte header); a ProtoV2 framer
-// adds a flags byte and a CRC32 integrity trailer. A Framer is set
-// once at handshake and is safe for concurrent use afterwards.
+// adds a flags byte and a CRC32 integrity trailer; a ProtoV3 framer
+// may additionally carry a trace-context block. A Framer is set once
+// at handshake and is safe for concurrent use afterwards.
 type Framer struct {
-	// Version is the negotiated wire version (ProtoV1 or ProtoV2).
+	// Version is the negotiated wire version (ProtoV1..ProtoV3).
 	Version byte
 }
 
-// WriteMessage frames and writes one message.
+// WriteMessage frames and writes one message. A Trace on the message
+// is written only at ProtoV3 — lower versions strip it, keeping the
+// stream legible to pre-trace peers.
 func (f Framer) WriteMessage(w io.Writer, m Message) error {
 	if len(m.Payload) > maxMessage {
 		return fmt.Errorf("transport: message of %d bytes: %w", len(m.Payload), ErrTooLarge)
@@ -140,13 +204,25 @@ func (f Framer) WriteMessage(w io.Writer, m Message) error {
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(m.Payload)))
 	hdr[4] = byte(m.Type)
 	hdr[5] = flagCRC
+	var trace []byte
+	if f.Version >= ProtoV3 && m.Trace != nil {
+		hdr[5] |= flagTrace
+		var buf [traceCtxSize]byte
+		trace = m.Trace.appendTo(buf[:0])
+	}
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[4:6])
+	crc.Write(trace)
 	crc.Write(m.Payload)
 	var trailer [4]byte
 	binary.BigEndian.PutUint32(trailer[:], crc.Sum32())
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
+	}
+	if len(trace) > 0 {
+		if _, err := w.Write(trace); err != nil {
+			return err
+		}
 	}
 	if _, err := w.Write(m.Payload); err != nil {
 		return err
@@ -185,20 +261,33 @@ func (f Framer) ReadMessage(r io.Reader) (Message, error) {
 	if n > maxMessage {
 		return Message{}, fmt.Errorf("transport: message length %d: %w", n, ErrTooLarge)
 	}
-	body := make([]byte, n+4)
+	extra := uint32(0)
+	if hdr[5]&flagTrace != 0 {
+		extra = traceCtxSize
+	}
+	body := make([]byte, extra+n+4)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
-	payload, trailer := body[:n], body[n:]
+	trace, payload, trailer := body[:extra], body[extra:extra+n], body[extra+n:]
 	if hdr[5]&flagCRC != 0 {
 		crc := crc32.NewIEEE()
 		crc.Write(hdr[4:6])
+		crc.Write(trace)
 		crc.Write(payload)
 		if got, want := crc.Sum32(), binary.BigEndian.Uint32(trailer); got != want {
 			return Message{}, fmt.Errorf("transport: crc %08x != %08x: %w", got, want, ErrChecksum)
 		}
 	}
-	return Message{Type: MsgType(hdr[4]), Payload: payload}, nil
+	m := Message{Type: MsgType(hdr[4]), Payload: payload}
+	if len(trace) > 0 {
+		tc, err := parseTraceCtx(trace)
+		if err != nil {
+			return Message{}, err
+		}
+		m.Trace = tc
+	}
+	return m, nil
 }
 
 // HelloPayload builds a hello (or welcome) payload advertising a role
@@ -221,14 +310,14 @@ func ParseHello(p []byte) (Role, byte, error) {
 }
 
 // NegotiateVersion returns the wire version two peers settle on: the
-// lower of the two advertisements, capped at ProtoV2.
+// lower of the two advertisements, capped at ProtoV3.
 func NegotiateVersion(a, b byte) byte {
 	v := a
 	if b < v {
 		v = b
 	}
-	if v > ProtoV2 {
-		v = ProtoV2
+	if v > ProtoV3 {
+		v = ProtoV3
 	}
 	return v
 }

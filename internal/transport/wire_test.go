@@ -103,7 +103,9 @@ func TestNegotiateVersion(t *testing.T) {
 		{ProtoV2, ProtoV1, ProtoV1},
 		{ProtoV1, ProtoV2, ProtoV1},
 		{ProtoV2, ProtoV2, ProtoV2},
-		{9, 7, ProtoV2}, // future versions cap at what we speak
+		{ProtoV3, ProtoV2, ProtoV2},
+		{ProtoV3, ProtoV3, ProtoV3},
+		{9, 7, ProtoV3}, // future versions cap at what we speak
 	}
 	for _, c := range cases {
 		if got := NegotiateVersion(c.a, c.b); got != c.want {
@@ -135,11 +137,11 @@ func TestEndpointNegotiatesV2(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ep.Close()
-	if ep.ProtoVersion() != ProtoV2 {
-		t.Fatalf("negotiated v%d, want v%d", ep.ProtoVersion(), ProtoV2)
+	if ep.ProtoVersion() != ProtoV3 {
+		t.Fatalf("negotiated v%d, want v%d", ep.ProtoVersion(), ProtoV3)
 	}
 	health := d.Health()
-	if len(health) != 1 || health[0].Proto != ProtoV2 || !health[0].Healthy {
+	if len(health) != 1 || health[0].Proto != ProtoV3 || !health[0].Healthy {
 		t.Fatalf("health = %+v", health)
 	}
 }
@@ -450,5 +452,197 @@ func TestV2HeaderLayout(t *testing.T) {
 	}
 	if wire[4] != byte(MsgImage) || wire[5] != flagCRC {
 		t.Fatalf("type/flags = %x %x", wire[4], wire[5])
+	}
+}
+
+// TestFramerV3TraceRoundTrip: the v3 optional trace block survives a
+// write/read cycle intact, and untraced v3 messages omit the block
+// entirely (flag clear, no extra bytes).
+func TestFramerV3TraceRoundTrip(t *testing.T) {
+	fr := Framer{Version: ProtoV3}
+	var buf bytes.Buffer
+	tc := &TraceCtx{TraceID: 0xDEADBEEFCAFE, FrameID: 1293, Hop: 3, OriginUnixNano: 1_700_000_000_123_456_789}
+	msgs := []Message{
+		{Type: MsgImage, Payload: bytes.Repeat([]byte{7}, 500), Trace: tc},
+		{Type: MsgImage, Payload: []byte{1, 2, 3}}, // untraced rides the same stream
+		{Type: MsgAck, Payload: []byte{9}, Trace: &TraceCtx{TraceID: 1, FrameID: 2, Hop: 1}},
+	}
+	for _, m := range msgs {
+		if err := fr.WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := fr.ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("msg %d payload mismatch", i)
+		}
+		if (got.Trace == nil) != (want.Trace == nil) {
+			t.Fatalf("msg %d trace presence = %v, want %v", i, got.Trace != nil, want.Trace != nil)
+		}
+		if want.Trace != nil && *got.Trace != *want.Trace {
+			t.Fatalf("msg %d trace = %+v, want %+v", i, got.Trace, want.Trace)
+		}
+	}
+}
+
+// TestFramerV3TraceCoveredByCRC: flipping a bit inside the trace block
+// must fail the checksum — the trace is load-bearing routing metadata,
+// not an unprotected annex.
+func TestFramerV3TraceCoveredByCRC(t *testing.T) {
+	fr := Framer{Version: ProtoV3}
+	var buf bytes.Buffer
+	if err := fr.WriteMessage(&buf, Message{
+		Type: MsgImage, Payload: []byte{1, 2, 3},
+		Trace: &TraceCtx{TraceID: 5, FrameID: 6, Hop: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	wire[6] ^= 0xFF // first byte of the trace block (after 6-byte header)
+	if _, err := (Framer{Version: ProtoV3}).ReadMessage(bytes.NewReader(wire)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted trace read err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestOlderFramersStripTrace: a message carrying a trace context
+// written at v1 or v2 framing loses the trace silently — the exact
+// behavior that lets a v3 sender talk to a v2-negotiated peer.
+func TestOlderFramersStripTrace(t *testing.T) {
+	for _, ver := range []byte{ProtoV1, ProtoV2} {
+		fr := Framer{Version: ver}
+		var buf bytes.Buffer
+		if err := fr.WriteMessage(&buf, Message{
+			Type: MsgImage, Payload: []byte{4, 5},
+			Trace: &TraceCtx{TraceID: 9, FrameID: 1, Hop: 1},
+		}); err != nil {
+			t.Fatalf("v%d: %v", ver, err)
+		}
+		got, err := fr.ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("v%d: %v", ver, err)
+		}
+		if got.Trace != nil {
+			t.Fatalf("v%d framing leaked a trace context", ver)
+		}
+		if !bytes.Equal(got.Payload, []byte{4, 5}) {
+			t.Fatalf("v%d payload mismatch", ver)
+		}
+	}
+}
+
+// TestDaemonMixedVersionPeers: a v3 renderer with trace contexts and a
+// legacy v2 display on the same daemon. The v2 display must receive
+// every frame in clean v2 framing (no trace bytes), while a v3 display
+// sees the forwarded trace with the hop advanced.
+func TestDaemonMixedVersionPeers(t *testing.T) {
+	d, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// v2 display: raw handshake pinned at ProtoV2.
+	v2conn, err := net.Dial("tcp", d.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2conn.Close()
+	if err := WriteMessage(v2conn, Message{Type: MsgHello, Payload: HelloPayload(RoleDisplay, ProtoV2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(v2conn); err != nil {
+		t.Fatal(err)
+	}
+	v2fr := Framer{Version: ProtoV2}
+
+	// v3 display: the normal endpoint path.
+	v3disp, err := Dial(d.Addr().String(), RoleDisplay, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v3disp.Close()
+
+	rend, err := Dial(d.Addr().String(), RoleRenderer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rend.Close()
+	if rend.ProtoVersion() != ProtoV3 {
+		t.Fatalf("renderer negotiated v%d, want v%d", rend.ProtoVersion(), ProtoV3)
+	}
+
+	payload := bytes.Repeat([]byte{3}, 64)
+	if err := rend.Send(Message{
+		Type: MsgImage, Payload: payload,
+		Trace: &TraceCtx{TraceID: 77, FrameID: 8, Hop: 1, OriginUnixNano: 42},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v2 display gets the image, stripped of the trace.
+	v2conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := v2fr.ReadMessage(v2conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgImage || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("v2 display got type %d, %d bytes", got.Type, len(got.Payload))
+	}
+	if got.Trace != nil {
+		t.Fatal("v2 display received a trace context")
+	}
+
+	// The v3 display gets the same image with the hop advanced.
+	select {
+	case m := <-v3disp.Inbox():
+		if m.Type != MsgImage || !bytes.Equal(m.Payload, payload) {
+			t.Fatalf("v3 display got type %d, %d bytes", m.Type, len(m.Payload))
+		}
+		if m.Trace == nil {
+			t.Fatal("v3 display lost the trace context")
+		}
+		if m.Trace.TraceID != 77 || m.Trace.FrameID != 8 || m.Trace.Hop != 2 || m.Trace.OriginUnixNano != 42 {
+			t.Fatalf("forwarded trace = %+v, want id 77 frame 8 hop 2 origin 42", m.Trace)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("v3 display never received the frame")
+	}
+}
+
+// TestV3HeaderLayout locks the traced-frame wire layout: 6-byte v2
+// header, flagTrace set, 21-byte trace block big-endian, then payload
+// and CRC trailer.
+func TestV3HeaderLayout(t *testing.T) {
+	fr := Framer{Version: ProtoV3}
+	var buf bytes.Buffer
+	err := fr.WriteMessage(&buf, Message{
+		Type: MsgImage, Payload: []byte{0xAB},
+		Trace: &TraceCtx{TraceID: 0x0102030405060708, FrameID: 0x0A0B0C0D, Hop: 2, OriginUnixNano: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	if len(wire) != 6+21+1+4 {
+		t.Fatalf("traced v3 frame length %d, want 32", len(wire))
+	}
+	if n := binary.BigEndian.Uint32(wire[:4]); n != 1 {
+		t.Fatalf("length field = %d, want payload-only 1", n)
+	}
+	if wire[5] != flagCRC|flagTrace {
+		t.Fatalf("flags = %x, want CRC|trace", wire[5])
+	}
+	if id := binary.BigEndian.Uint64(wire[6:14]); id != 0x0102030405060708 {
+		t.Fatalf("trace id on wire = %x", id)
+	}
+	if f := binary.BigEndian.Uint32(wire[14:18]); f != 0x0A0B0C0D {
+		t.Fatalf("frame id on wire = %x", f)
+	}
+	if wire[18] != 2 {
+		t.Fatalf("hop on wire = %d", wire[18])
 	}
 }
