@@ -32,6 +32,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
 	"repro/internal/relay"
@@ -57,6 +58,8 @@ func main() {
 	target := flag.Duration("target", 200*time.Millisecond, "adaptive: target inter-frame delay per client")
 	queue := flag.Int("queue", 3, "adaptive: per-client frame queue depth (drop-oldest)")
 	cacheFrames := flag.Int("cache", 4, "adaptive: frames retained in the encode fan-out cache")
+	memBudget := flag.Int64("mem-budget", 0, "adaptive/relay: frame-memory budget in bytes; over budget the daemon walks the degradation ladder and refuses new displays busy (0 = unguarded)")
+	maxClients := flag.Int("max-clients", 0, "adaptive/relay: cap admitted display sessions; excess connections are refused busy with a retry-after hint (0 = unlimited)")
 	verbose := flag.Bool("v", false, "log connections and drops")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
 	relayParent := flag.String("relay-parent", "", "run as a relay-tree node attached to this parent daemon")
@@ -66,10 +69,11 @@ func main() {
 	flag.Var(&relayFallbacks, "relay-fallback", "relay: re-parent target after the parent dies (repeatable; order = preference)")
 	flag.Parse()
 
+	gov := newGovernor(*memBudget, *maxClients, *verbose)
 	if *relayParent != "" {
 		runRelay(*listen, *relayParent, relayFallbacks, *relayName, *relayTier,
 			stream.Config{Target: *target, QueueDepth: *queue, CacheFrames: *cacheFrames},
-			*heartbeat, *peerTimeout, *verbose, *debugAddr)
+			*heartbeat, *peerTimeout, *verbose, *debugAddr, gov)
 		return
 	}
 	if len(relayFallbacks) > 0 {
@@ -78,8 +82,12 @@ func main() {
 	}
 
 	if *adaptive {
-		runAdaptive(*listen, *target, *queue, *cacheFrames, *verbose, *debugAddr)
+		runAdaptive(*listen, *target, *queue, *cacheFrames, *verbose, *debugAddr, gov)
 		return
+	}
+	if gov != nil {
+		fmt.Fprintln(os.Stderr, "displaydaemon: -mem-budget/-max-clients need -adaptive or -relay-parent")
+		os.Exit(2)
 	}
 
 	d, err := transport.ListenAndServe(*listen)
@@ -101,6 +109,8 @@ func main() {
 		prov := provenance.NewLog("displaydaemon", 0)
 		d.SetProvenance(prov)
 		st := d.Stats()
+		wd := newWatchdog(*verbose, map[string]func(){"daemon": func() { _ = d.Health() }})
+		defer wd.Close()
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
 			Component: "displaydaemon",
 			Registry:  reg,
@@ -116,6 +126,7 @@ func main() {
 					"corrupt_dropped":  st.CorruptDropped.Load(),
 					"peers_evicted":    st.PeersEvicted.Load(),
 					"peers":            d.Health(),
+					"watchdog":         wd.Status(),
 				}
 			},
 		})
@@ -143,10 +154,37 @@ func main() {
 	d.Close()
 }
 
+// newGovernor builds the shared resource governor, or nil when both
+// knobs are off.
+func newGovernor(budget int64, maxClients int, verbose bool) *guard.Governor {
+	if budget <= 0 && maxClients <= 0 {
+		return nil
+	}
+	cfg := guard.GovernorConfig{BudgetBytes: budget, MaxClients: maxClients}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	return guard.NewGovernor(cfg)
+}
+
+// newWatchdog starts the per-binary stall watchdog over the given
+// probes (name -> lock-acquiring self-check).
+func newWatchdog(verbose bool, probes map[string]func()) *guard.Watchdog {
+	var logf func(string, ...any)
+	if verbose {
+		logf = log.Printf
+	}
+	wd := guard.NewWatchdog(time.Second, logf)
+	for name, fn := range probes {
+		wd.Register(name, 5*time.Second, fn)
+	}
+	return wd
+}
+
 // runRelay joins a relay tree: downstream adaptive broker on listen,
 // upstream session against parent with the fallback chain as re-parent
 // targets.
-func runRelay(listen, parent string, fallbacks []string, name string, tier int, streamCfg stream.Config, heartbeat, peerTimeout time.Duration, verbose bool, debugAddr string) {
+func runRelay(listen, parent string, fallbacks []string, name string, tier int, streamCfg stream.Config, heartbeat, peerTimeout time.Duration, verbose bool, debugAddr string, gov *guard.Governor) {
 	if name == "" {
 		name = listen
 	}
@@ -161,6 +199,7 @@ func runRelay(listen, parent string, fallbacks []string, name string, tier int, 
 		Heartbeat:   heartbeat,
 		PeerTimeout: peerTimeout,
 		Prov:        provenance.NewLog(name, 0),
+		Guard:       gov,
 	}
 	if verbose {
 		cfg.Logf = log.Printf
@@ -175,12 +214,20 @@ func runRelay(listen, parent string, fallbacks []string, name string, tier int, 
 		reg := obs.NewRegistry()
 		n.Instrument(reg)
 		obs.InstrumentCodecs(reg)
+		gov.Instrument(reg)
+		wd := newWatchdog(verbose, map[string]func(){"relay": n.Probe})
+		defer wd.Close()
 		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{
 			Component: "displaydaemon",
 			Registry:  reg,
 			Frames:    cfg.Prov.Handler(),
 			Status: func() any {
-				return map[string]any{"mode": "relay", "node": n.Status()}
+				return map[string]any{
+					"mode":     "relay",
+					"node":     n.Status(),
+					"guard":    gov.Status(),
+					"watchdog": wd.Status(),
+				}
 			},
 		})
 		if err != nil {
@@ -201,8 +248,8 @@ func runRelay(listen, parent string, fallbacks []string, name string, tier int, 
 	n.Close()
 }
 
-func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, verbose bool, debugAddr string) {
-	cfg := stream.Config{Target: target, QueueDepth: queue, CacheFrames: cacheFrames}
+func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, verbose bool, debugAddr string, gov *guard.Governor) {
+	cfg := stream.Config{Target: target, QueueDepth: queue, CacheFrames: cacheFrames, Guard: gov}
 	if verbose {
 		cfg.Logf = log.Printf
 	}
@@ -218,17 +265,25 @@ func runAdaptive(listen string, target time.Duration, queue, cacheFrames int, ve
 		b.Instrument(reg)
 		obs.InstrumentCodecs(reg)
 		obs.InstrumentAllocs(reg)
+		gov.Instrument(reg)
 		tr := obs.NewTracer(obs.WallClock(), obs.DefaultTraceCapacity)
 		b.SetTracer(tr)
 		prov := provenance.NewLog("displaydaemon", 0)
 		b.SetProvenance(prov)
+		wd := newWatchdog(verbose, map[string]func(){"broker": b.Probe})
+		defer wd.Close()
 		dbg, err := obs.StartDebugServer(debugAddr, obs.DebugConfig{
 			Component: "displaydaemon",
 			Registry:  reg,
 			Tracer:    tr,
 			Frames:    prov.Handler(),
 			Status: func() any {
-				return map[string]any{"mode": "adaptive", "clients": b.ClientSnapshots()}
+				return map[string]any{
+					"mode":     "adaptive",
+					"clients":  b.ClientSnapshots(),
+					"guard":    gov.Status(),
+					"watchdog": wd.Status(),
+				}
 			},
 		})
 		if err != nil {

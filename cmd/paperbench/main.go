@@ -10,7 +10,7 @@
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
 // datasets, hybrid, trace, pipeline, adaptive, faults, perf, relay,
-// status, all.
+// status, overload, all.
 //
 //	paperbench -exp perf -bench-out BENCH_render.json
 //	                               # multicore hot-path benchmark; the
@@ -19,6 +19,10 @@
 //	                               # loopback relay tree with one
 //	                               # impaired link; the provenance
 //	                               # collector must attribute it
+//	paperbench -exp overload -json BENCH_overload.json
+//	                               # chaos soak: client flood + faults
+//	                               # under a small memory budget; CI
+//	                               # gates on overload.passed
 package main
 
 import (
@@ -32,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,status,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,status,overload,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
@@ -59,8 +63,9 @@ func main() {
 		"perf":     wrap(ctx.Perf),
 		"relay":    wrap(ctx.Relay),
 		"status":   wrap(ctx.Status),
+		"overload": wrap(ctx.Overload),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay", "status"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay", "status", "overload"}
 
 	var todo []string
 	switch *exp {

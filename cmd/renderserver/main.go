@@ -14,9 +14,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
 	"repro/internal/tf"
@@ -42,6 +44,7 @@ func main() {
 	accelFlag := flag.Bool("accel", false, "per-brick empty-space skipping (identical images, fewer samples)")
 	reconnect := flag.Bool("reconnect", false, "survive daemon restarts: auto-redial with exponential backoff, dropping frames while the link is down")
 	heartbeat := flag.Duration("heartbeat", 0, "with -reconnect: ping the daemon on this interval and redial after 3x of inbound silence (0 = off)")
+	breakerN := flag.Int("breaker", 0, "with -reconnect: open a circuit after this many consecutive failed redials, skipping the network until a half-open probe succeeds (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/status and /debug/trace on this address")
 	flag.Parse()
 
@@ -61,10 +64,17 @@ func main() {
 		TF: tfn, Steps: *steps, Loop: *loop,
 		RegionInput: *region, NodeLinks: *nodeLinks, Accel: *accelFlag,
 	}
+	var br *guard.Breaker
 	if *reconnect {
 		rp := transport.DefaultRetry()
 		opt.Reconnect = &rp
 		opt.Heartbeat = *heartbeat
+		if *breakerN > 0 {
+			br = guard.NewBreaker(guard.BreakerConfig{Threshold: *breakerN})
+			opt.Breaker = br
+		}
+	} else if *breakerN > 0 {
+		fatal(fmt.Errorf("-breaker requires -reconnect"))
 	}
 	if *link != "" {
 		prof, err := wan.ByName(*link)
@@ -87,6 +97,9 @@ func main() {
 	}
 	if *debugAddr != "" {
 		st := srv.Stats()
+		wd := guard.NewWatchdog(time.Second, nil)
+		wd.Register("daemon-link", 5*time.Second, func() { _ = srv.LinkState() })
+		defer wd.Close()
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
 			Component: "renderserver",
 			Registry:  opt.Metrics,
@@ -96,10 +109,14 @@ func main() {
 				status := map[string]any{
 					"frames_sent": st.FramesSent.Load(),
 					"bytes_sent":  st.BytesSent.Load(),
+					"watchdog":    wd.Status(),
 				}
 				if *reconnect {
 					status["frames_dropped"] = st.FramesDropped.Load()
 					status["link"] = srv.LinkState()
+				}
+				if br != nil {
+					status["breaker"] = br.StateName()
 				}
 				return status
 			},

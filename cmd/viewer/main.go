@@ -15,9 +15,11 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/control"
 	"repro/internal/display"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
 	"repro/internal/tf"
@@ -98,15 +100,19 @@ func main() {
 			st := v.Stats()
 			return st.DecodeTime.Seconds()
 		})
+		wd := guard.NewWatchdog(time.Second, nil)
+		wd.Register("viewer", 5*time.Second, func() { _ = v.Stats() })
+		defer wd.Close()
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{
 			Component: "viewer",
 			Registry:  reg,
 			Frames:    prov.Handler(),
 			Status: func() any {
+				status := map[string]any{"viewer": v.Stats(), "watchdog": wd.Status()}
 				if sess != nil {
-					return map[string]any{"viewer": v.Stats(), "link": sess.State()}
+					status["link"] = sess.State()
 				}
-				return v.Stats()
+				return status
 			},
 		})
 		if err != nil {

@@ -81,6 +81,12 @@ type ServerOptions struct {
 	// interval so a stalled (partitioned) link is detected and
 	// redialed even when TCP keeps the socket open.
 	Heartbeat time.Duration
+	// Breaker, with Reconnect set, circuit-breaks the daemon link:
+	// after its failure threshold trips, reconnect attempts are refused
+	// (still consuming retry budget) until its cooldown elapses and a
+	// half-open probe succeeds, so a hard-down daemon is not hammered
+	// at full dial rate. nil = no breaker.
+	Breaker transport.UpstreamBreaker
 	// Background is the gray level composited behind the volume.
 	Background float32
 	// Trace, when set, records per-group pipeline stage spans plus the
@@ -177,6 +183,7 @@ func NewServer(store volio.Store, opt ServerOptions) (*Server, error) {
 			Wrap:      opt.Wrap,
 			Retry:     *opt.Reconnect,
 			Heartbeat: opt.Heartbeat,
+			Breaker:   opt.Breaker,
 			OnConnect: advertise,
 		})
 		if err != nil {

@@ -295,10 +295,13 @@ func (v *Viewer) Stats() ViewerStats {
 	return v.stats
 }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down and releases the delivery loop: a
+// loop blocked handing a frame to a consumer that stopped draining
+// would otherwise outlive the viewer.
 func (v *Viewer) Close() error {
 	var err error
 	v.once.Do(func() {
+		close(v.done)
 		err = v.ep.Close()
 	})
 	return err

@@ -1,0 +1,189 @@
+package guard
+
+import (
+	"sync"
+	"time"
+)
+
+// probe is one registered self-check.
+type probe struct {
+	name    string
+	timeout time.Duration
+	fn      func()
+
+	mu      sync.Mutex
+	healthy bool
+	lastOK  time.Time
+	stalls  int64
+	running bool
+}
+
+// ProbeStatus is one self-check's observable state.
+type ProbeStatus struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	// LastOKAgoMS is how long ago the probe last completed in time
+	// (-1 before the first completion).
+	LastOKAgoMS int64 `json:"last_ok_ago_ms"`
+	Stalls      int64 `json:"stalls"`
+}
+
+// WatchdogStatus is the watchdog's /debug/status surface.
+type WatchdogStatus struct {
+	Healthy bool          `json:"healthy"`
+	Probes  []ProbeStatus `json:"probes"`
+}
+
+// Watchdog is a per-binary deadlock/stall self-check: subsystems
+// register cheap probes (typically "acquire and release my hot-path
+// lock"), and a background goroutine runs each on an interval with a
+// timeout. A probe that cannot complete — a wedged lock holder, a
+// stuck event loop — marks the check unhealthy and counts a stall;
+// the next completion marks it healthy again. The surface is meant
+// for /debug/status, where a stalled broker loop becomes visible to
+// the status plane even though the process is still accepting TCP.
+//
+// Probes, not heartbeats: an idle broker blocks in its event loop by
+// design, so "no beat lately" would false-positive. Acquiring the
+// loop's mutex distinguishes idle (acquires instantly) from wedged
+// (acquire blocks past the timeout).
+type Watchdog struct {
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	mu     sync.Mutex
+	probes []*probe
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewWatchdog starts a watchdog checking every interval (default 1s).
+// Stop it with Close.
+func NewWatchdog(interval time.Duration, logf func(format string, args ...any)) *Watchdog {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &Watchdog{interval: interval, logf: logf, done: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// Register adds a named self-check: fn must complete within timeout
+// (default: the check interval) or the check is declared stalled. fn
+// should be cheap and side-effect free — lock/unlock a mutex, read a
+// channel length — and is never run concurrently with itself.
+func (w *Watchdog) Register(name string, timeout time.Duration, fn func()) {
+	if w == nil || fn == nil {
+		return
+	}
+	if timeout <= 0 {
+		timeout = w.interval
+	}
+	w.mu.Lock()
+	w.probes = append(w.probes, &probe{name: name, timeout: timeout, fn: fn, healthy: true})
+	w.mu.Unlock()
+}
+
+// loop drives every probe on the interval.
+func (w *Watchdog) loop() {
+	tick := time.NewTicker(w.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		probes := append([]*probe(nil), w.probes...)
+		w.mu.Unlock()
+		for _, p := range probes {
+			w.check(p)
+		}
+	}
+}
+
+// check runs one probe with its timeout. A probe still running from a
+// previous round is skipped (its eventual completion resolves it) and
+// counts as unhealthy until then.
+func (w *Watchdog) check(p *probe) {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.mu.Unlock()
+
+	doneCh := make(chan struct{})
+	go func() {
+		p.fn()
+		close(doneCh)
+		p.mu.Lock()
+		p.running = false
+		wasHealthy := p.healthy
+		p.healthy = true
+		p.lastOK = time.Now()
+		p.mu.Unlock()
+		if !wasHealthy && w.logf != nil {
+			w.logf("watchdog: check %q recovered", p.name)
+		}
+	}()
+	t := time.NewTimer(p.timeout)
+	defer t.Stop()
+	select {
+	case <-doneCh:
+	case <-t.C:
+		p.mu.Lock()
+		p.healthy = false
+		p.stalls++
+		n := p.stalls
+		p.mu.Unlock()
+		if w.logf != nil {
+			w.logf("watchdog: check %q stalled beyond %v (stall %d)", p.name, p.timeout, n)
+		}
+	}
+}
+
+// Status snapshots every check. Healthy is the conjunction.
+func (w *Watchdog) Status() WatchdogStatus {
+	if w == nil {
+		return WatchdogStatus{Healthy: true}
+	}
+	w.mu.Lock()
+	probes := append([]*probe(nil), w.probes...)
+	w.mu.Unlock()
+	st := WatchdogStatus{Healthy: true}
+	for _, p := range probes {
+		p.mu.Lock()
+		ps := ProbeStatus{Name: p.name, Healthy: p.healthy, Stalls: p.stalls, LastOKAgoMS: -1}
+		if !p.lastOK.IsZero() {
+			ps.LastOKAgoMS = time.Since(p.lastOK).Milliseconds()
+		}
+		p.mu.Unlock()
+		st.Healthy = st.Healthy && ps.Healthy
+		st.Probes = append(st.Probes, ps)
+	}
+	return st
+}
+
+// Stalls sums stall counts across all checks.
+func (w *Watchdog) Stalls() int64 {
+	if w == nil {
+		return 0
+	}
+	var n int64
+	for _, p := range w.Status().Probes {
+		n += p.Stalls
+	}
+	return n
+}
+
+// Close stops the watchdog loop. In-flight probe goroutines finish on
+// their own.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.once.Do(func() { close(w.done) })
+}

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -115,17 +116,64 @@ type Collector struct {
 	// Budget is the frame-age SLO used for per-link compliance
 	// (0 = no budget, BudgetOK reports 1).
 	Budget time.Duration
+	// Timeout bounds each node fetch (connect + read); a node that
+	// stalls past it is recorded unreachable instead of hanging the
+	// whole crawl (default 2s, negative disables).
+	Timeout time.Duration
+	// Retries is how many extra attempts each node gets after a failed
+	// fetch — a crawl racing a node restart should not lose that
+	// node's events to one refused connection (default 2).
+	Retries int
 }
 
-// fetch grabs one node's dump and estimates its clock offset.
+// fetchTimeout resolves the per-attempt deadline.
+func (c *Collector) fetchTimeout() time.Duration {
+	switch {
+	case c.Timeout < 0:
+		return 0
+	case c.Timeout == 0:
+		return 2 * time.Second
+	}
+	return c.Timeout
+}
+
+// fetch grabs one node's dump and estimates its clock offset, retrying
+// transient failures with each attempt bounded by Timeout.
 func (c *Collector) fetch(ref NodeRef) (Dump, NodeInfo) {
+	attempts := c.Retries
+	if attempts == 0 {
+		attempts = 2
+	}
+	if attempts < 0 {
+		attempts = 0
+	}
+	d, info := c.fetchOnce(ref)
+	for try := 0; info.Err != "" && try < attempts; try++ {
+		d, info = c.fetchOnce(ref)
+	}
+	return d, info
+}
+
+// fetchOnce is one bounded fetch attempt.
+func (c *Collector) fetchOnce(ref NodeRef) (Dump, NodeInfo) {
 	info := NodeInfo{Name: ref.Name, URL: ref.URL}
 	client := c.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
+	ctx := context.Background()
+	if d := c.fetchTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ref.URL+"/debug/frames", nil)
+	if err != nil {
+		info.Err = err.Error()
+		return Dump{}, info
+	}
 	t0 := time.Now()
-	resp, err := client.Get(ref.URL + "/debug/frames")
+	resp, err := client.Do(req)
 	if err != nil {
 		info.Err = err.Error()
 		return Dump{}, info

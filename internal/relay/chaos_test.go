@@ -8,7 +8,10 @@ import (
 
 	"repro/internal/display"
 	"repro/internal/fault"
+	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/stream"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -58,6 +61,7 @@ func (c *idCollector) dups() []uint32 {
 // (the orphaned edges re-attach to their grandparent, the root), no
 // viewer sees any frame twice, and the edges record the re-parent.
 func TestChaosInteriorRelayKill(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	retry := transport.RetryPolicy{
 		Base: 10 * time.Millisecond, Max: 50 * time.Millisecond,
 		Factor: 2, Jitter: -1, MaxAttempts: 3,
@@ -188,5 +192,64 @@ func TestChaosInteriorRelayKill(t *testing.T) {
 	}
 	if ks := inj.Stats().Kills; ks == 0 {
 		t.Error("injector recorded no kills")
+	}
+}
+
+// TestReparentReplayDoesNotChargeBudget is the regression test for a
+// double-count bug: after a re-parent during active overload, the new
+// parent replays frames the old parent already delivered, and those
+// dedup-window duplicates used to be charged against the memory budget
+// before the dup check dropped them — so the replay burst itself could
+// push the governor up the degradation ladder. The upstream in-flight
+// charge must happen only past the dup check.
+func TestReparentReplayDoesNotChargeBudget(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	im := testFrame(t, 1, 8)
+	payload, err := im.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget of exactly one payload: any single dup charge drives
+	// pressure to 1.0 and the transition counters record it.
+	gov := guard.NewGovernor(guard.GovernorConfig{BudgetBytes: int64(len(payload))})
+	cfg := Config{Name: "n", Parents: []string{"unreachable:0"}, Guard: gov}
+	cfg = cfg.withDefaults()
+	cfg.Stream.Guard = gov
+	// Hand-built node: the upstream loop is irrelevant here, onImage is
+	// driven directly with crafted upstream messages.
+	n := &Node{
+		cfg:      cfg,
+		broker:   stream.NewBroker(cfg.Stream),
+		log:      obs.NewLogger("relay"),
+		seen:     map[uint32]struct{}{},
+		breakers: map[string]*guard.Breaker{},
+		done:     make(chan struct{}),
+	}
+	n.upstreamAcct = gov.Account("relay-upstream")
+	defer n.broker.Close()
+
+	n.onImage(transport.Message{Type: transport.MsgImage, Payload: payload})
+	if got := n.stats.FramesIn.Load(); got != 1 {
+		t.Fatalf("frames in = %d, want 1", got)
+	}
+	base := gov.Transitions()
+
+	// Re-parent replay burst: the new parent re-sends the delivered
+	// frame many times over.
+	const replays = 50
+	for i := 0; i < replays; i++ {
+		n.onImage(transport.Message{Type: transport.MsgImage, Payload: payload})
+		if used := n.upstreamAcct.Used(); used != 0 {
+			t.Fatalf("replay %d left %d bytes charged to the upstream account", i, used)
+		}
+	}
+	if got := n.stats.DupDropped.Load(); got != replays {
+		t.Fatalf("dup dropped = %d, want %d", got, replays)
+	}
+	if tr := gov.Transitions(); tr != base {
+		t.Fatalf("replay burst moved the degradation ladder: %v -> %v", base, tr)
+	}
+	if used := gov.Used(); used != 0 {
+		t.Fatalf("governor holds %d bytes after the burst", used)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
 	"repro/internal/stream"
@@ -75,6 +76,22 @@ type Config struct {
 	// DedupWindow is how many delivered frame IDs the node remembers
 	// for duplicate suppression across re-parents (default 1024).
 	DedupWindow int
+	// Guard, when set, attaches the node to a process resource
+	// governor: it is passed through to the embedded broker (unless
+	// Stream.Guard is already set), in-flight upstream payload bytes
+	// charge a "relay-upstream" account, and the node identifies itself
+	// as a relay in its upstream hello so parent admission control
+	// spares it when shedding. nil = unguarded.
+	Guard *guard.Governor
+	// BreakerThreshold and BreakerCooldown parameterize the per-parent
+	// circuit breakers on the upstream session: after BreakerThreshold
+	// consecutive failures against one parent its breaker opens and
+	// reconnect attempts against it are refused (consuming retry
+	// budget, so failover advances faster) until BreakerCooldown
+	// passes and a half-open probe succeeds. Zero values take the
+	// guard package defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// WrapUpstream wraps each upstream dial (wan shaping, fault
 	// injection); nil leaves the socket raw.
 	WrapUpstream func(net.Conn) net.Conn
@@ -139,6 +156,11 @@ type Status struct {
 
 	Session transport.SessionState `json:"session"`
 
+	// Breakers maps each configured parent address to its circuit
+	// breaker state (closed/open/half-open); empty when unguarded or
+	// before any attach attempt.
+	Breakers map[string]string `json:"breakers,omitempty"`
+
 	// Downstream broker view: encode counts are this tier's share of
 	// the tree's total encodes; Clients carries per-link quality.
 	Encodes    int64                   `json:"encodes"`
@@ -168,6 +190,12 @@ type Node struct {
 	seen      map[uint32]struct{}
 	seenOrder []uint32
 
+	// upstreamAcct ledgers in-flight upstream payload bytes against the
+	// resource governor (nil-safe when unguarded); breakers holds one
+	// circuit breaker per parent address, created lazily under mu.
+	upstreamAcct *guard.Account
+	breakers     map[string]*guard.Breaker
+
 	stats NodeStats
 	done  chan struct{}
 	wg    sync.WaitGroup
@@ -182,13 +210,20 @@ func NewNode(ln net.Listener, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("relay: no parent addresses configured")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Guard != nil && cfg.Stream.Guard == nil {
+		cfg.Stream.Guard = cfg.Guard
+	}
 	n := &Node{
-		cfg:    cfg,
-		broker: stream.NewBroker(cfg.Stream),
-		ln:     ln,
-		log:    obs.NewLogger("relay"),
-		seen:   make(map[uint32]struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg,
+		broker:   stream.NewBroker(cfg.Stream),
+		ln:       ln,
+		log:      obs.NewLogger("relay"),
+		seen:     make(map[uint32]struct{}),
+		breakers: make(map[string]*guard.Breaker),
+		done:     make(chan struct{}),
+	}
+	if cfg.Guard != nil {
+		n.upstreamAcct = cfg.Guard.Account("relay-upstream")
 	}
 	if cfg.Logf != nil {
 		n.log.SetFunc(cfg.Logf)
@@ -270,6 +305,14 @@ func (n *Node) Status() Status {
 	if sess != nil {
 		st.Session = sess.State()
 	}
+	n.mu.Lock()
+	if len(n.breakers) > 0 {
+		st.Breakers = make(map[string]string, len(n.breakers))
+		for addr, br := range n.breakers {
+			st.Breakers[addr] = br.StateName()
+		}
+	}
+	n.mu.Unlock()
 	return st
 }
 
@@ -301,6 +344,30 @@ func (n *Node) Instrument(reg *obs.Registry) {
 	n.broker.Instrument(reg)
 }
 
+// breakerFor returns (lazily creating) the circuit breaker for one
+// parent address.
+func (n *Node) breakerFor(addr string) *guard.Breaker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	br, ok := n.breakers[addr]
+	if !ok {
+		br = guard.NewBreaker(guard.BreakerConfig{
+			Threshold: n.cfg.BreakerThreshold,
+			Cooldown:  n.cfg.BreakerCooldown,
+		})
+		n.breakers[addr] = br
+	}
+	return br
+}
+
+// Probe acquires and releases the node's lock and the embedded
+// broker's — the watchdog's deadlock self-check.
+func (n *Node) Probe() {
+	n.mu.Lock()
+	n.mu.Unlock() //nolint:staticcheck // the probe is exactly acquire-then-release
+	n.broker.Probe()
+}
+
 // upstreamLoop attaches to parents in preference order for the life of
 // the node: each parent is served through an auto-reconnecting session;
 // when a session fails terminally (the parent stayed dead past the
@@ -320,12 +387,14 @@ func (n *Node) upstreamLoop() {
 		addr := n.cfg.Parents[idx]
 		sess, err := transport.NewSession(transport.SessionConfig{
 			Role:        transport.RoleDisplay,
+			Kind:        transport.KindRelay,
 			Addr:        addr,
 			Wrap:        n.cfg.WrapUpstream,
 			Retry:       n.cfg.Retry,
 			Heartbeat:   n.cfg.Heartbeat,
 			PeerTimeout: n.cfg.PeerTimeout,
 			Seed:        n.cfg.Seed,
+			Breaker:     n.breakerFor(addr),
 			Logf:        n.log.Infof,
 			Sleep:       n.pause,
 		})
@@ -442,7 +511,14 @@ func (n *Node) onImage(m transport.Message) {
 			Event: provenance.EvReceived, Bytes: len(payload), Link: n.Parent(),
 		})
 	}
+	// Charge the in-flight upstream bytes only past the dup check:
+	// after a re-parent during overload, replayed dedup-window frames
+	// are dropped above without ever touching the memory budget, so
+	// the replay burst cannot double-count against it and push the
+	// governor up the degradation ladder.
+	n.upstreamAcct.Add(int64(len(payload)))
 	id, completed := n.broker.IngestImage(payload, tc)
+	n.upstreamAcct.Release(int64(len(payload)))
 	if !completed {
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/img"
 	"repro/internal/stream"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -54,6 +55,7 @@ func waitFor(t *testing.T, d time.Duration, what string, ok func() bool) {
 // to viewers on both edges, the root encodes per edge link rather than
 // per viewer, and each relay tier records its own encode share.
 func TestTreeFanOut(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tree, err := BuildTree(TreeSpec{
 		Tiers: 2, FanOut: 2,
 		Stream: stream.Config{Target: 50 * time.Millisecond},
@@ -151,6 +153,7 @@ func TestTreeFanOut(t *testing.T) {
 // TestControlsFlowUpTree: a user-control message sent by a viewer at
 // the edge reaches a renderer connected to the root.
 func TestControlsFlowUpTree(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tree, err := BuildTree(TreeSpec{
 		Tiers: 2, FanOut: 1,
 		Stream: stream.Config{Target: 50 * time.Millisecond},
@@ -200,6 +203,7 @@ func TestControlsFlowUpTree(t *testing.T) {
 // TestNodeDedup: a frame replayed by a fresh parent after re-parenting
 // is dropped, not delivered twice.
 func TestNodeDedup(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	root, err := stream.ListenAndServe("127.0.0.1:0", stream.Config{})
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs/provenance"
 	"repro/internal/stream"
 	"repro/internal/transport"
@@ -35,6 +36,11 @@ type TreeSpec struct {
 	// a frame-provenance log (named after the node) retained on the
 	// tree for collectors.
 	Provenance bool
+	// Guard, when set, attaches every broker and relay node in the tree
+	// to one shared resource governor — valid because a built tree runs
+	// in a single process, so one memory budget covers it. nil =
+	// unguarded.
+	Guard *guard.Governor
 	// Logf receives node diagnostics (nil silences).
 	Logf func(format string, args ...any)
 }
@@ -60,6 +66,9 @@ func BuildTree(spec TreeSpec) (*Tree, error) {
 	}
 	if spec.Tiers > 1 && spec.FanOut < 1 {
 		return nil, fmt.Errorf("relay: fan-out must be >= 1, have %d", spec.FanOut)
+	}
+	if spec.Guard != nil && spec.Stream.Guard == nil {
+		spec.Stream.Guard = spec.Guard
 	}
 	root, err := stream.ListenAndServe("127.0.0.1:0", spec.Stream)
 	if err != nil {
@@ -92,6 +101,7 @@ func BuildTree(spec TreeSpec) (*Tree, error) {
 				PeerTimeout:     spec.PeerTimeout,
 				FailoverBackoff: spec.FailoverBackoff,
 				DedupWindow:     spec.DedupWindow,
+				Guard:           spec.Guard,
 				Logf:            spec.Logf,
 			}
 			if spec.WrapUpstreamFor != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/display"
+	"repro/internal/guard"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
@@ -34,6 +35,12 @@ type BrokerStats struct {
 	ControlsRouted atomic.Int64
 	// CorruptDropped counts inbound messages dropped on CRC failure.
 	CorruptDropped atomic.Int64
+	// BusyRejected counts display handshakes refused with MsgBusy by
+	// admission control.
+	BusyRejected atomic.Int64
+	// Shed counts admitted clients disconnected by the governor's
+	// shed step under extreme memory pressure.
+	Shed atomic.Int64
 }
 
 // Broker is the adaptive display daemon: renderers stream frames in
@@ -47,6 +54,12 @@ type Broker struct {
 	cache *EncodeCache
 	asm   *display.Assembler
 	log   *obs.Logger
+
+	// gov and the byte accounts are the broker's attachment to the
+	// process resource governor (all nil-safe when unguarded).
+	gov        *guard.Governor
+	framesAcct *guard.Account
+	pacerAcct  *guard.Account
 
 	mu         sync.Mutex
 	ln         net.Listener
@@ -91,6 +104,7 @@ type rendererPeer struct {
 // client is one display session.
 type client struct {
 	id     int
+	kind   byte // transport.KindViewer or KindRelay
 	remote string
 	conn   net.Conn
 	fr     transport.Framer
@@ -151,7 +165,51 @@ func NewBroker(cfg Config) *Broker {
 		// logger to the caller's printf sink.
 		b.log.SetFunc(cfg.Logf)
 	}
+	if cfg.Guard != nil {
+		b.gov = cfg.Guard
+		b.framesAcct = b.gov.Account("frames")
+		b.pacerAcct = b.gov.Account("pacer")
+		b.cache.SetGuard(b.gov.Account("encode-cache"), b.gov.CacheFillPaused)
+		b.gov.OnShed(b.shedNewest)
+	}
 	return b
+}
+
+// Probe acquires and releases the broker's hot-path locks — the
+// watchdog's deadlock self-check: it completes instantly on a healthy
+// (even idle) broker and blocks when a lock holder is wedged.
+func (b *Broker) Probe() {
+	b.mu.Lock()
+	//lint:ignore SA2001 the probe is exactly acquire-then-release
+	b.mu.Unlock()
+	b.traceMu.Lock()
+	b.traceMu.Unlock()
+}
+
+// shedNewest disconnects the most recently admitted non-relay client,
+// reporting whether one was found — the governor's last degradation
+// step. Relay clients are spared: they serve whole subtrees.
+func (b *Broker) shedNewest() bool {
+	b.mu.Lock()
+	var victim *client
+	for _, c := range b.clients {
+		if c.kind == transport.KindRelay {
+			continue
+		}
+		if victim == nil || c.id > victim.id {
+			victim = c
+		}
+	}
+	b.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	b.stats.Shed.Add(1)
+	b.log.Warnf("guard: shedding newest display %d (%s) under memory pressure", victim.id, victim.remote)
+	// Closing the conn unwinds the session through the normal
+	// disconnect path (reader errors, sender drains, pacer closes).
+	victim.conn.Close()
+	return true
 }
 
 // ListenAndServe starts a broker on addr and serves on a background
@@ -224,6 +282,8 @@ func (b *Broker) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("broker_drops_total", "Frames discarded by per-client pacers.", st.Drops.Load)
 	reg.CounterFunc("broker_controls_routed_total", "User-control messages relayed to renderers.", st.ControlsRouted.Load)
 	reg.CounterFunc("broker_corrupt_dropped_total", "Inbound messages dropped on wire CRC failure.", st.CorruptDropped.Load)
+	reg.CounterFunc("broker_busy_rejected_total", "Display handshakes refused with MsgBusy by admission control.", st.BusyRejected.Load)
+	reg.CounterFunc("broker_shed_total", "Admitted clients disconnected by the governor's shed step.", st.Shed.Load)
 	cs := b.cache.Stats()
 	reg.CounterFunc("broker_cache_hits_total", "Encode fan-out cache hits.", cs.Hits.Load)
 	reg.CounterFunc("broker_cache_misses_total", "Encode fan-out cache misses.", cs.Misses.Load)
@@ -325,6 +385,9 @@ func (b *Broker) Close() error {
 		c.Close()
 	}
 	b.wg.Wait()
+	// Drain the encode cache so the governor's resident-bytes ledger
+	// returns to zero once every session has unwound.
+	b.cache.Clear()
 	return err
 }
 
@@ -335,7 +398,7 @@ func (b *Broker) handle(conn net.Conn) {
 		b.log.Warnf("bad handshake from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
-	role, peerVer, err := transport.ParseHello(hello.Payload)
+	role, peerVer, kind, err := transport.ParseHelloKind(hello.Payload)
 	if err != nil {
 		b.log.Warnf("bad hello from %v: %v", conn.RemoteAddr(), err)
 		return
@@ -349,7 +412,7 @@ func (b *Broker) handle(conn net.Conn) {
 	case transport.RoleRenderer:
 		b.handleRenderer(conn, fr)
 	case transport.RoleDisplay:
-		b.handleDisplay(conn, fr)
+		b.handleDisplay(conn, fr, kind)
 	default:
 		b.log.Warnf("unknown role %d", role)
 	}
@@ -504,6 +567,14 @@ func (b *Broker) ingest(payload []byte, tc *transport.TraceCtx) (uint32, bool) {
 		})
 	}
 	sf := &SourceFrame{ID: fr.ID, Image: fr.Image}
+	if b.framesAcct != nil {
+		// Charge the decoded frame once; the creator reference below
+		// keeps the charge alive until fan-out completes, then each
+		// queued reference keeps it until consumed or dropped.
+		sf.acct = b.framesAcct
+		sf.refs.Store(1)
+		b.framesAcct.Add(sf.Size())
+	}
 	b.mu.Lock()
 	clients := make([]*client, 0, len(b.clients))
 	for _, c := range b.clients {
@@ -511,21 +582,29 @@ func (b *Broker) ingest(payload []byte, tc *transport.TraceCtx) (uint32, bool) {
 	}
 	b.mu.Unlock()
 	for _, c := range clients {
-		if _, dropped := c.pacer.Offer(sf); dropped != nil {
+		sf.retain()
+		accepted, dropped := c.pacer.Offer(sf)
+		if !accepted {
+			sf.release()
+		}
+		for _, d := range dropped {
 			b.stats.Drops.Add(1)
-			if dtc := b.traceFor(dropped.ID); dtc != nil {
+			if dtc := b.traceFor(d.ID); dtc != nil {
 				b.prov.Load().Record(provenance.Event{
 					Trace: dtc.TraceID, Frame: dtc.FrameID, Hop: int(dtc.Hop),
 					Event: provenance.EvDropped, Cause: "pacer-full",
 				})
 			}
+			d.release()
 		}
 	}
+	sf.release()
 	return fr.ID, true
 }
 
-func (b *Broker) handleDisplay(conn net.Conn, fr transport.Framer) {
+func (b *Broker) handleDisplay(conn net.Conn, fr transport.Framer, kind byte) {
 	c := &client{
+		kind:   kind,
 		conn:   conn,
 		fr:     fr,
 		est:    NewEstimator(b.cfg.Alpha),
@@ -537,9 +616,21 @@ func (b *Broker) handleDisplay(conn net.Conn, fr transport.Framer) {
 		c.remote = ra.String()
 	}
 	c.ctrl = NewController(c.est, b.cfg.Target, b.cfg.Ladder, b.cfg.Alpha, b.cfg.UpHold)
+	if b.gov != nil {
+		c.pacer.SetGuard(b.pacerAcct, func() int { return b.gov.PacerDepth(b.cfg.QueueDepth) })
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		return
+	}
+	if ok, retry := b.gov.Admit(kind == transport.KindRelay, len(b.clients)); !ok {
+		b.mu.Unlock()
+		b.stats.BusyRejected.Add(1)
+		b.log.Warnf("display from %v refused by admission control (retry after %v)", conn.RemoteAddr(), retry)
+		// Busy refusals travel in legacy framing like the welcome they
+		// replace, so any client version can decode them.
+		_ = transport.WriteMessage(conn, transport.Message{Type: transport.MsgBusy, Payload: transport.MarshalBusy(retry, "over budget")})
 		return
 	}
 	b.nextID++
@@ -641,6 +732,18 @@ func (b *Broker) routeToRenderers(m transport.Message) {
 // feeding the bandwidth estimator.
 func (b *Broker) sender(c *client) {
 	track := fmt.Sprintf("client %d", c.id)
+	// On exit (write error or broker close) drain the pacer so every
+	// queued frame's budget charge is refunded: the read loop's defer
+	// closes the pacer once the conn errors, which unblocks Next here.
+	defer func() {
+		for {
+			sf, ok := c.pacer.Next()
+			if !ok {
+				return
+			}
+			sf.release()
+		}
+	}()
 	for {
 		// The tracer is re-loaded each frame so SetTracer can attach
 		// or detach while the session runs.
@@ -650,6 +753,11 @@ func (b *Broker) sender(c *client) {
 		endWait()
 		if !ok {
 			return
+		}
+		if b.gov != nil {
+			// The governor's quality-step degradation: under pressure
+			// every client is floored at or below a ladder midpoint.
+			c.ctrl.SetFloor(b.gov.QualityFloor(c.ctrl.LadderLen()))
 		}
 		point := c.ctrl.Pick()
 		if b.cfg.FixedPoint != nil {
@@ -678,6 +786,10 @@ func (b *Broker) sender(c *client) {
 		}
 		endEncode()
 		b.encodeH.Load().ObserveDuration(time.Since(encStart))
+		// The decoded pixels are not needed past the encode; release the
+		// queued reference now so the frames-in-flight charge refunds
+		// even when the write below stalls on a slow client.
+		sf.release()
 		if err != nil {
 			b.log.Warnf("encode frame %d at %s: %v", sf.ID, point, err)
 			continue

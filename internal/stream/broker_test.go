@@ -10,6 +10,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/img"
 	"repro/internal/stream"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 	"repro/internal/wan"
 )
@@ -80,6 +81,7 @@ func drainFrames(v *display.Viewer, got chan<- *display.Frame) {
 }
 
 func TestBrokerFanoutSharesEncodes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := stream.NewBroker(stream.Config{Target: 100 * time.Millisecond, QueueDepth: 4, CacheFrames: 8})
 	defer b.Close()
 
@@ -132,6 +134,7 @@ func TestBrokerFanoutSharesEncodes(t *testing.T) {
 }
 
 func TestBrokerSlowClientDropsInsteadOfBacklog(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const depth = 3
 	b := stream.NewBroker(stream.Config{Target: 80 * time.Millisecond, QueueDepth: depth, CacheFrames: 4})
 	defer b.Close()
@@ -190,6 +193,7 @@ func TestBrokerSlowClientDropsInsteadOfBacklog(t *testing.T) {
 }
 
 func TestBrokerAdaptsQualityToSlowLink(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	target := 120 * time.Millisecond
 	b := stream.NewBroker(stream.Config{Target: target, QueueDepth: 2, CacheFrames: 4, UpHold: 3})
 	defer b.Close()
@@ -262,6 +266,7 @@ func TestBrokerAdvertiseRestrictsLadder(t *testing.T) {
 }
 
 func TestBrokerFixedPointDisabledCacheEncodesPerClient(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	fixed := stream.Point{Codec: "jpeg", Quality: 50}
 	b := stream.NewBroker(stream.Config{FixedPoint: &fixed, DisableCache: true})
 	defer b.Close()
@@ -304,6 +309,7 @@ func TestBrokerFixedPointDisabledCacheEncodesPerClient(t *testing.T) {
 }
 
 func TestBrokerCloseLeaksNoGoroutines(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	before := runtime.NumGoroutine()
 	b := stream.NewBroker(stream.Config{})
 	var eps []*transport.Endpoint
@@ -334,6 +340,7 @@ func TestBrokerCloseLeaksNoGoroutines(t *testing.T) {
 }
 
 func TestBrokerListenAndServeTCP(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b, err := stream.ListenAndServe("127.0.0.1:0", stream.Config{})
 	if err != nil {
 		t.Fatal(err)

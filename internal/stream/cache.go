@@ -3,6 +3,8 @@ package stream
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/guard"
 )
 
 // CacheStats counts encode-cache activity.
@@ -14,6 +16,9 @@ type CacheStats struct {
 	// stepping away from a point mid-frame, or a generation bump on
 	// renderer reconnect. They are counted in Evictions too.
 	Invalidations atomic.Int64
+	// FillsPaused counts misses served without inserting because the
+	// resource governor paused cache fills under memory pressure.
+	FillsPaused atomic.Int64
 }
 
 // HitRate returns hits / (hits + misses).
@@ -35,6 +40,10 @@ type cacheEntry struct {
 	ready chan struct{}
 	data  []byte
 	err   error
+	// bytes is the budget charge for this entry: set (under the cache
+	// mutex) when the encode completes while the entry is still
+	// resident, refunded when the entry is evicted.
+	bytes int64
 }
 
 // EncodeCache is the encode-once fan-out cache: entries are keyed by
@@ -61,6 +70,12 @@ type EncodeCache struct {
 	entries  map[cacheKey]*cacheEntry
 	frames   []uint32 // insertion order of distinct frame IDs (current generation)
 	stats    CacheStats
+
+	// acct, when set, ledgers resident encoded bytes against the
+	// resource governor; fillPaused (consulted per miss) makes the
+	// cache serve hits only — no new inserts — under memory pressure.
+	acct       *guard.Account
+	fillPaused func() bool
 }
 
 // NewEncodeCache retains up to capFrames distinct frame IDs (min 1).
@@ -73,6 +88,24 @@ func NewEncodeCache(capFrames int) *EncodeCache {
 
 // Stats exposes the cache counters.
 func (c *EncodeCache) Stats() *CacheStats { return &c.stats }
+
+// SetGuard attaches the resource governor's hooks: acct ledgers
+// resident encoded bytes, fillPaused (consulted per miss) suppresses
+// new inserts under pressure. Call before the cache is shared.
+func (c *EncodeCache) SetGuard(acct *guard.Account, fillPaused func() bool) {
+	c.acct = acct
+	c.fillPaused = fillPaused
+}
+
+// dropEntryLocked removes one resident entry, refunding its budget
+// charge. Callers hold c.mu and count the eviction themselves.
+func (c *EncodeCache) dropEntryLocked(k cacheKey, e *cacheEntry) {
+	delete(c.entries, k)
+	if e.bytes > 0 {
+		c.acct.Release(e.bytes)
+		e.bytes = 0
+	}
+}
 
 // Generation returns the current cache generation.
 func (c *EncodeCache) Generation() uint64 {
@@ -90,12 +123,38 @@ func (c *EncodeCache) BumpGeneration() uint64 {
 	defer c.mu.Unlock()
 	c.gen++
 	if n := len(c.entries); n > 0 {
-		c.entries = map[cacheKey]*cacheEntry{}
+		for k, e := range c.entries {
+			c.dropEntryLocked(k, e)
+		}
 		c.stats.Evictions.Add(int64(n))
 		c.stats.Invalidations.Add(int64(n))
 	}
 	c.frames = c.frames[:0]
 	return c.gen
+}
+
+// Clear evicts every resident entry, refunding all budget charges.
+// The broker calls it at shutdown so the governor's ledger drains.
+func (c *EncodeCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	for k, e := range c.entries {
+		c.dropEntryLocked(k, e)
+	}
+	c.stats.Evictions.Add(int64(n))
+	c.frames = c.frames[:0]
+}
+
+// Bytes reports the resident encoded payload bytes.
+func (c *EncodeCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, e := range c.entries {
+		n += e.bytes
+	}
+	return n
 }
 
 // Invalidate evicts the current-generation entry for (frameID, p),
@@ -107,10 +166,11 @@ func (c *EncodeCache) Invalidate(frameID uint32, p Point) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := cacheKey{gen: c.gen, frameID: frameID, point: p.String()}
-	if _, ok := c.entries[key]; !ok {
+	e, ok := c.entries[key]
+	if !ok {
 		return false
 	}
-	delete(c.entries, key)
+	c.dropEntryLocked(key, e)
 	c.stats.Evictions.Add(1)
 	c.stats.Invalidations.Add(1)
 	return true
@@ -132,6 +192,15 @@ func (c *EncodeCache) GetOrEncode(frameID uint32, p Point, encode func() ([]byte
 		c.stats.Hits.Add(1)
 		return e.data, nil
 	}
+	if c.fillPaused != nil && c.fillPaused() {
+		// Memory pressure: serve resident hits only. The caller still
+		// gets its bytes, but nothing new is charged to the budget and
+		// concurrent same-point callers do not coalesce.
+		c.mu.Unlock()
+		c.stats.Misses.Add(1)
+		c.stats.FillsPaused.Add(1)
+		return encode()
+	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.noteFrameLocked(frameID)
@@ -139,8 +208,8 @@ func (c *EncodeCache) GetOrEncode(frameID uint32, p Point, encode func() ([]byte
 
 	c.stats.Misses.Add(1)
 	e.data, e.err = encode()
-	close(e.ready)
 	if e.err != nil {
+		close(e.ready)
 		// Do not poison the cache with a failure.
 		c.mu.Lock()
 		if cur, ok := c.entries[key]; ok && cur == e {
@@ -149,6 +218,15 @@ func (c *EncodeCache) GetOrEncode(frameID uint32, p Point, encode func() ([]byte
 		c.mu.Unlock()
 		return nil, e.err
 	}
+	// Charge the budget only while the entry is actually resident: an
+	// eviction racing the encode leaves nothing to refund later.
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == e {
+		e.bytes = int64(len(e.data))
+		c.acct.Add(e.bytes)
+	}
+	c.mu.Unlock()
+	close(e.ready)
 	return e.data, nil
 }
 
@@ -164,9 +242,9 @@ func (c *EncodeCache) noteFrameLocked(frameID uint32) {
 	for len(c.frames) > c.capacity {
 		victim := c.frames[0]
 		c.frames = c.frames[1:]
-		for k := range c.entries {
+		for k, e := range c.entries {
 			if k.frameID == victim && k.gen == c.gen {
-				delete(c.entries, k)
+				c.dropEntryLocked(k, e)
 				c.stats.Evictions.Add(1)
 			}
 		}

@@ -23,6 +23,7 @@ type Controller struct {
 	sizes  map[string]float64 // EWMA encoded bytes per point
 	cur    int                // current ladder index
 	better int                // consecutive picks favoring an upgrade
+	floor  int                // minimum ladder index forced by the governor
 }
 
 // NewController builds a controller over the estimator; target and
@@ -72,6 +73,36 @@ func (c *Controller) Restrict(families []string) {
 	c.ladder = kept
 	if c.cur >= len(kept) {
 		c.cur = len(kept) - 1
+	}
+	if c.floor >= len(kept) {
+		c.floor = len(kept) - 1
+	}
+}
+
+// LadderLen returns the (possibly Restrict-ed) ladder length.
+func (c *Controller) LadderLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ladder)
+}
+
+// SetFloor forces the controller to operate at ladder index >= floor
+// (0 = best rung, no floor) — the resource governor's quality-step
+// degradation. The clamp applies immediately and caps future upgrades
+// until the floor is lifted.
+func (c *Controller) SetFloor(floor int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if floor < 0 {
+		floor = 0
+	}
+	if floor > len(c.ladder)-1 {
+		floor = len(c.ladder) - 1
+	}
+	c.floor = floor
+	if c.cur < floor {
+		c.cur = floor
+		c.better = 0
 	}
 }
 
@@ -150,13 +181,17 @@ func (c *Controller) Pick() Point {
 		// Too expensive for the link: downgrade immediately.
 		c.cur = best
 		c.better = 0
-	case best < c.cur:
+	case best < c.cur && c.cur > c.floor:
 		c.better++
 		if c.better >= c.upHold {
 			c.cur--
 			c.better = 0
 		}
 	default:
+		c.better = 0
+	}
+	if c.cur < c.floor {
+		c.cur = c.floor
 		c.better = 0
 	}
 	return c.ladder[c.cur]

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/guard"
 	"repro/internal/img"
 )
 
@@ -10,10 +12,42 @@ import (
 type SourceFrame struct {
 	ID    uint32
 	Image *img.Frame
+
+	// acct and refs implement the broker's frames-in-flight byte
+	// ledger: the decoded frame is charged once when it enters fan-out
+	// and the charge is returned when the last queued reference is
+	// consumed or dropped. acct is set once before the frame is shared
+	// and never written again.
+	acct *guard.Account
+	refs atomic.Int32
+}
+
+// Size returns the decoded frame's pixel bytes (0 for the imageless
+// frames some tests construct).
+func (f *SourceFrame) Size() int64 {
+	if f.Image == nil {
+		return 0
+	}
+	return int64(len(f.Image.Pix))
+}
+
+// retain adds one queued reference (no-op for unguarded frames).
+func (f *SourceFrame) retain() {
+	if f.acct != nil {
+		f.refs.Add(1)
+	}
+}
+
+// release drops one reference, refunding the frame's budget charge
+// when the last holder lets go.
+func (f *SourceFrame) release() {
+	if f.acct != nil && f.refs.Add(-1) == 0 {
+		f.acct.Release(f.Size())
+	}
 }
 
 // Pacer is the per-client frame queue. Offer never blocks: when the
-// queue is full the oldest frame is dropped, so a slow client's
+// queue is full the oldest frames are dropped, so a slow client's
 // backlog is bounded and it always converges on the newest frame while
 // the renderer runs at full speed. Next blocks until a frame or Close.
 type Pacer struct {
@@ -21,8 +55,15 @@ type Pacer struct {
 	cond   *sync.Cond
 	depth  int
 	q      []*SourceFrame
+	bytes  int64
 	drops  int64
 	closed bool
+
+	// acct, when set, ledgers queued frame bytes against the resource
+	// governor; effDepth, when set, caps the effective queue depth per
+	// Offer — the governor's "widen the drop window" degradation step.
+	acct     *guard.Account
+	effDepth func() int
 }
 
 // NewPacer bounds the queue to depth frames (min 1).
@@ -35,22 +76,42 @@ func NewPacer(depth int) *Pacer {
 	return p
 }
 
-// Offer enqueues a frame, dropping the oldest when full. It reports
-// whether the frame was accepted (false only after Close) and which
-// frame was evicted to make room (nil when none), so callers can
-// attribute the drop to the right frame.
-func (p *Pacer) Offer(f *SourceFrame) (accepted bool, dropped *SourceFrame) {
+// SetGuard attaches the resource governor's hooks: acct ledgers
+// queued bytes, effDepth (consulted per Offer) narrows the effective
+// depth under pressure. Call before the pacer is shared.
+func (p *Pacer) SetGuard(acct *guard.Account, effDepth func() int) {
+	p.acct = acct
+	p.effDepth = effDepth
+}
+
+// Offer enqueues a frame, dropping the oldest entries when full. It
+// reports whether the frame was accepted (false only after Close) and
+// which frames were evicted to make room (the governor can narrow the
+// effective depth below the configured one, evicting several at once),
+// so callers can attribute every drop to the right frame.
+func (p *Pacer) Offer(f *SourceFrame) (accepted bool, dropped []*SourceFrame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return false, nil
 	}
-	if len(p.q) >= p.depth {
-		dropped = p.q[0]
+	limit := p.depth
+	if p.effDepth != nil {
+		if d := p.effDepth(); d >= 1 && d < limit {
+			limit = d
+		}
+	}
+	for len(p.q) >= limit {
+		victim := p.q[0]
 		p.q = p.q[1:]
 		p.drops++
+		p.bytes -= victim.Size()
+		p.acct.Release(victim.Size())
+		dropped = append(dropped, victim)
 	}
 	p.q = append(p.q, f)
+	p.bytes += f.Size()
+	p.acct.Add(f.Size())
 	p.cond.Signal()
 	return true, dropped
 }
@@ -68,6 +129,8 @@ func (p *Pacer) Next() (f *SourceFrame, ok bool) {
 	}
 	f = p.q[0]
 	p.q = p.q[1:]
+	p.bytes -= f.Size()
+	p.acct.Release(f.Size())
 	return f, true
 }
 
@@ -84,6 +147,13 @@ func (p *Pacer) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.q)
+}
+
+// Bytes reports the queued frame payload bytes.
+func (p *Pacer) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
 }
 
 // Drops reports how many frames were discarded to bound the backlog.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/compress/bzp"
 	"repro/internal/compress/jpegc"
 	"repro/internal/compress/lzo"
+	"repro/internal/guard"
 )
 
 // Point is one encode operating point: a codec family plus, for the
@@ -116,6 +117,14 @@ type Config struct {
 	// before the controller upgrades (default 3); downgrades are
 	// immediate.
 	UpHold int
+	// Guard, when set, attaches the broker to a process-wide resource
+	// governor: decoded frames in flight, pacer queues, and the encode
+	// cache charge byte accounts against its budget; new display
+	// connections pass admission control (rejected with MsgBusy over
+	// budget); and under pressure the broker walks the degradation
+	// ladder — quality floor, narrowed pacers, paused cache fills,
+	// shedding the newest non-relay clients. nil = unguarded.
+	Guard *guard.Governor
 	// Logf receives diagnostics; nil silences them. It is a
 	// compatibility shim over the broker's leveled obs.Logger — see
 	// Broker.Logger for level control.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/testutil"
 )
 
 // chaosEnv is one daemon + renderer session + viewer session triple
@@ -143,6 +144,7 @@ func (e *chaosEnv) waitDelivered(t *testing.T, n int64) {
 // each injected fault class and checks the pipeline recovers within
 // the session's bounded backoff.
 func TestChaosRecovery(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const half = 6 // frames per phase; 12 total
 	cases := []struct {
 		name string
@@ -279,6 +281,7 @@ func TestChaosRecovery(t *testing.T) {
 // The daemon's dead-peer monitor evicts it; once the partition heals
 // the session notices the dead socket and reconnects cleanly.
 func TestChaosPartitionEvictionRecovery(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	env := newChaosEnv(t, fault.Plan{})
 	env.daemon.SetHeartbeat(10*time.Millisecond, 50*time.Millisecond)
 
@@ -321,6 +324,7 @@ func TestChaosPartitionEvictionRecovery(t *testing.T) {
 // pings must be declared dead by the session's own silence detector,
 // since TCP alone would keep the socket open forever.
 func TestChaosSessionHeartbeatDetectsStalledLink(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// A fake daemon that completes the handshake and then goes mute.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -56,6 +56,27 @@ type Endpoint struct {
 	corrupt atomic.Int64
 }
 
+// ErrBusy is the sentinel for admission-control rejections: the
+// daemon answered the handshake with MsgBusy instead of a welcome.
+// Match with errors.Is; the full *BusyError (retry-after hint,
+// reason) is recoverable with errors.As.
+var ErrBusy = errors.New("transport: daemon busy")
+
+// BusyError is a handshake rejected by admission control.
+type BusyError struct {
+	// RetryAfter is the daemon's hint for when to try again.
+	RetryAfter time.Duration
+	// Reason is the daemon's short rejection cause.
+	Reason string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("transport: daemon busy (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBusy) match.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
 // Dial connects to the daemon at addr with the given role, optionally
 // wrapping the socket (e.g. with a wan.Shape) via wrap (nil = raw).
 func Dial(addr string, role Role, wrap func(net.Conn) net.Conn) (*Endpoint, error) {
@@ -76,8 +97,17 @@ func Dial(addr string, role Role, wrap func(net.Conn) net.Conn) (*Endpoint, erro
 // welcomes always travel in legacy framing; the negotiated version
 // applies from the first message after them.
 func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
+	return NewEndpointKind(conn, role, KindViewer)
+}
+
+// NewEndpointKind is NewEndpoint with an explicit client kind: relays
+// announce KindRelay so the daemon's admission control can prioritize
+// them over individual viewers. An over-budget daemon answers with
+// MsgBusy; the returned error then matches ErrBusy and carries the
+// retry-after hint as a *BusyError.
+func NewEndpointKind(conn net.Conn, role Role, kind byte) (*Endpoint, error) {
 	e := &Endpoint{conn: conn, role: role, inbox: make(chan Message, 64), done: make(chan struct{})}
-	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: HelloPayload(role, ProtoV3)}); err != nil {
+	if err := WriteMessage(conn, Message{Type: MsgHello, Payload: HelloPayloadKind(role, ProtoV3, kind)}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -85,6 +115,14 @@ func NewEndpoint(conn net.Conn, role Role) (*Endpoint, error) {
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake rejected: %w", err)
+	}
+	if welcome.Type == MsgBusy {
+		conn.Close()
+		retry, reason, perr := UnmarshalBusy(welcome.Payload)
+		if perr != nil {
+			reason = "overloaded"
+		}
+		return nil, &BusyError{RetryAfter: retry, Reason: reason}
 	}
 	if welcome.Type != MsgHello {
 		conn.Close()

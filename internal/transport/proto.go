@@ -12,6 +12,7 @@ import (
 	"hash/crc32"
 	"io"
 	"strings"
+	"time"
 )
 
 // Role identifies an endpoint at handshake.
@@ -61,6 +62,23 @@ const (
 	// MsgPong answers a ping, echoing the ping payload so the sender
 	// can compute the round-trip time on its own clock.
 	MsgPong MsgType = 8
+	// MsgBusy rejects a handshake: the daemon is over its admission
+	// budget and the client should retry after the hinted delay
+	// instead of being accepted and starving the admitted sessions.
+	// Payload: 4-byte retry-after in milliseconds plus a reason
+	// string. Sent in place of the welcome hello, in legacy framing.
+	MsgBusy MsgType = 9
+)
+
+// Client kinds, carried in an optional third hello byte so admission
+// control can prioritize relays (which serve whole subtrees) over
+// individual viewers. Absent byte = KindViewer, so legacy hellos are
+// plain viewers.
+const (
+	// KindViewer is an individual display client.
+	KindViewer byte = 0
+	// KindRelay is a relay daemon's upstream connection.
+	KindRelay byte = 1
 )
 
 // Wire protocol versions, negotiated at handshake. A hello (and the
@@ -296,6 +314,16 @@ func HelloPayload(role Role, version byte) []byte {
 	return []byte{byte(role), version}
 }
 
+// HelloPayloadKind builds a hello payload that additionally announces
+// the client kind (KindViewer, KindRelay). KindViewer omits the byte,
+// matching what pre-kind peers send.
+func HelloPayloadKind(role Role, version, kind byte) []byte {
+	if kind == KindViewer {
+		return HelloPayload(role, version)
+	}
+	return []byte{byte(role), version, kind}
+}
+
 // ParseHello extracts the role and advertised protocol version from a
 // hello payload. Legacy single-byte payloads advertise ProtoV1.
 func ParseHello(p []byte) (Role, byte, error) {
@@ -307,6 +335,40 @@ func ParseHello(p []byte) (Role, byte, error) {
 		v = p[1]
 	}
 	return Role(p[0]), v, nil
+}
+
+// ParseHelloKind additionally extracts the client kind; hellos without
+// the third byte are KindViewer.
+func ParseHelloKind(p []byte) (Role, byte, byte, error) {
+	role, v, err := ParseHello(p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	kind := KindViewer
+	if len(p) >= 3 {
+		kind = p[2]
+	}
+	return role, v, kind, nil
+}
+
+// MarshalBusy builds a MsgBusy payload from a retry-after hint and a
+// short reason.
+func MarshalBusy(retryAfter time.Duration, reason string) []byte {
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	out := make([]byte, 4, 4+len(reason))
+	binary.BigEndian.PutUint32(out, uint32(ms))
+	return append(out, reason...)
+}
+
+// UnmarshalBusy parses a MsgBusy payload.
+func UnmarshalBusy(p []byte) (retryAfter time.Duration, reason string, err error) {
+	if len(p) < 4 {
+		return 0, "", ErrTruncated
+	}
+	return time.Duration(binary.BigEndian.Uint32(p)) * time.Millisecond, string(p[4:]), nil
 }
 
 // NegotiateVersion returns the wire version two peers settle on: the

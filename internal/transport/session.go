@@ -79,10 +79,23 @@ func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// UpstreamBreaker is the circuit-breaker surface a session consults
+// before each dial attempt (guard.Breaker implements it; the interface
+// keeps transport free of a guard dependency). Allow gates the
+// attempt; Success/Failure feed its outcome back.
+type UpstreamBreaker interface {
+	Allow() bool
+	Success()
+	Failure()
+}
+
 // SessionConfig configures an auto-reconnecting session.
 type SessionConfig struct {
 	// Role is the endpoint role announced at every handshake.
 	Role Role
+	// Kind is the client kind announced in the hello (KindViewer,
+	// KindRelay); admission control prioritizes relays.
+	Kind byte
 	// Addr is dialed over TCP when Dial is nil; Wrap optionally
 	// wraps each new socket (e.g. wan.Shape).
 	Addr string
@@ -107,6 +120,13 @@ type SessionConfig struct {
 	// OnDisconnect observes every connection loss (with its cause)
 	// before reconnection starts.
 	OnDisconnect func(error)
+	// Breaker, when set, circuit-breaks the upstream: Allow is
+	// consulted before every dial (a refused attempt waits out the
+	// backoff without touching the network, so a fleet of relays
+	// stops hammering a dead parent), and each attempt's outcome is
+	// reported back. Open-breaker refusals still consume reconnect
+	// attempts, so MaxAttempts remains the terminal bound.
+	Breaker UpstreamBreaker
 	// Seed seeds the backoff jitter for reproducible schedules
 	// (0 = 1).
 	Seed int64
@@ -206,24 +226,44 @@ func (s *Session) connect(first bool) (*Endpoint, error) {
 		if s.closed() {
 			return nil, fmt.Errorf("transport: session closed")
 		}
+		if br := s.cfg.Breaker; br != nil && !br.Allow() {
+			// Circuit open: skip the network entirely and let the
+			// backoff pace the next look at the breaker.
+			if lastErr == nil {
+				lastErr = fmt.Errorf("transport: upstream circuit open")
+			}
+			s.cfg.Logf("transport: attempt %d/%d skipped, upstream circuit open", attempt, s.retry.MaxAttempts)
+			continue
+		}
 		s.dialAttempts.Add(1)
 		conn, err := s.cfg.Dial()
 		if err != nil {
 			lastErr = err
+			s.noteAttempt(err)
 			continue
 		}
-		ep, err := NewEndpoint(conn, s.cfg.Role)
+		ep, err := NewEndpointKind(conn, s.cfg.Role, s.cfg.Kind)
 		if err != nil {
 			lastErr = err
+			s.noteAttempt(err)
+			if be := (*BusyError)(nil); errors.As(err, &be) && be.RetryAfter > 0 {
+				// Honor the daemon's retry-after hint on top of the
+				// backoff: reconnecting sooner would just be rejected
+				// again.
+				s.cfg.Logf("transport: daemon busy (%s), honoring retry-after %v", be.Reason, be.RetryAfter)
+				s.pause(be.RetryAfter)
+			}
 			continue
 		}
 		if s.cfg.OnConnect != nil {
 			if err := s.cfg.OnConnect(ep); err != nil {
 				ep.Close()
 				lastErr = err
+				s.noteAttempt(err)
 				continue
 			}
 		}
+		s.noteAttempt(nil)
 		return ep, nil
 	}
 	if lastErr == nil {
@@ -232,12 +272,33 @@ func (s *Session) connect(first bool) (*Endpoint, error) {
 	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", s.retry.MaxAttempts, lastErr)
 }
 
+// noteAttempt reports one dial attempt's outcome to the breaker.
+func (s *Session) noteAttempt(err error) {
+	br := s.cfg.Breaker
+	if br == nil {
+		return
+	}
+	if err == nil {
+		br.Success()
+	} else {
+		br.Failure()
+	}
+}
+
 // run pumps one endpoint after another into the session inbox.
 func (s *Session) run(ep *Endpoint) {
 	for {
 		s.mu.Lock()
 		s.ep = ep
 		s.mu.Unlock()
+		// Close() may have landed while no endpoint was installed
+		// (mid-reconnect): it had nothing to close, so a freshly
+		// connected endpoint would pump a closed session forever.
+		if s.closed() {
+			ep.Close()
+			close(s.inbox)
+			return
+		}
 		stopHB := s.startHeartbeat(ep)
 		for m := range ep.Inbox() {
 			select {

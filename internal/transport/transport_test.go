@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/internal/wan"
 )
 
@@ -124,6 +125,7 @@ func startDaemon(t *testing.T) *Daemon {
 }
 
 func TestDaemonForwardsImagesToDisplays(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d := startDaemon(t)
 	addr := d.Addr().String()
 
@@ -192,6 +194,7 @@ func TestDaemonRoutesControlToRenderers(t *testing.T) {
 }
 
 func TestDaemonMultipleDisplays(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d := startDaemon(t)
 	addr := d.Addr().String()
 	var disps []*Endpoint
@@ -415,6 +418,7 @@ func TestDaemonToleratesAckAndAdvertise(t *testing.T) {
 // so the fast viewer sees every frame promptly while the stalled one
 // accumulates drops, never an unbounded backlog.
 func TestDaemonStalledWANViewerDoesNotDelayFastViewer(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d := startDaemon(t)
 	d.SetBufferFrames(2)
 	addr := d.Addr().String()
@@ -511,6 +515,7 @@ func TestDaemonStalledWANViewerDoesNotDelayFastViewer(t *testing.T) {
 // Close must tear down every per-connection goroutine (handler and
 // writer) deterministically — no goroutine leaks.
 func TestDaemonCloseLeaksNoGoroutines(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	before := runtime.NumGoroutine()
 	d, err := ListenAndServe("127.0.0.1:0")
 	if err != nil {
@@ -556,6 +561,7 @@ func TestDaemonCloseLeaksNoGoroutines(t *testing.T) {
 // ServeConn registers a pre-established connection exactly like an
 // accepted one, and refuses connections after Close.
 func TestDaemonServeConn(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d := startDaemon(t)
 	a, b := net.Pipe()
 	d.ServeConn(b)
@@ -595,6 +601,7 @@ func TestDaemonServeConn(t *testing.T) {
 // When the daemon dies mid-stream, connected endpoints observe a
 // closed inbox rather than hanging.
 func TestDaemonDeathClosesEndpoints(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	d, err := ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
