@@ -10,7 +10,15 @@
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
 // datasets, hybrid, trace, pipeline, adaptive, faults, perf, relay,
-// status, overload, all.
+// status, overload, dfb, all.
+//
+//	paperbench -exp dfb -json BENCH_dfb.json
+//	                               # tile-ownership (DFB) vs binary-swap
+//	                               # compositing: live bit-identity +
+//	                               # bytes, streaming overlap, and the
+//	                               # 64-512 node critical-path model;
+//	                               # CI gates on bit_identical and the
+//	                               # 256-node overlap/critical-path row
 //
 //	paperbench -exp perf -bench-out BENCH_render.json
 //	                               # multicore hot-path benchmark; the
@@ -36,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,status,overload,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,status,overload,dfb,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
@@ -64,8 +72,9 @@ func main() {
 		"relay":    wrap(ctx.Relay),
 		"status":   wrap(ctx.Status),
 		"overload": wrap(ctx.Overload),
+		"dfb":      wrap(ctx.DFB),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay", "status", "overload"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay", "status", "overload", "dfb"}
 
 	var todo []string
 	switch *exp {

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"math"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func TestBcast(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(5, func(c *Comm) error {
 		var payload any
 		if c.Rank() == 2 {
@@ -24,6 +27,7 @@ func TestBcast(t *testing.T) {
 }
 
 func TestGather(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(4, func(c *Comm) error {
 		out := c.Gather(0, 20, c.Rank()*10, 4)
 		if c.Rank() != 0 {
@@ -45,6 +49,7 @@ func TestGather(t *testing.T) {
 }
 
 func TestScatter(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(4, func(c *Comm) error {
 		var parts []any
 		if c.Rank() == 1 {
@@ -66,6 +71,7 @@ func TestScatter(t *testing.T) {
 }
 
 func TestScatterWrongLength(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			if _, err := c.Scatter(0, 31, []any{"only one"}, 1); err == nil {
@@ -84,6 +90,7 @@ func TestScatterWrongLength(t *testing.T) {
 }
 
 func TestAllReduce(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const P = 6
 	err := Run(P, func(c *Comm) error {
 		sum := c.AllReduce(40, float64(c.Rank()+1), func(a, b float64) float64 { return a + b })
@@ -102,6 +109,7 @@ func TestAllReduce(t *testing.T) {
 }
 
 func TestCollectivesOnSubgroup(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(8, func(c *Comm) error {
 		gid := c.Rank() / 4
 		members := []int{gid * 4, gid*4 + 1, gid*4 + 2, gid*4 + 3}

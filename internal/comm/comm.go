@@ -59,11 +59,30 @@ type failPanic struct {
 func AsFailure(rec any) error {
 	if p, ok := rec.(failPanic); ok {
 		if p.timeout {
+			if p.rank < 0 {
+				// Any-source wait (inbox Take): no single peer to blame.
+				return fmt.Errorf("comm: waiting on inbox: %w", ErrRecvTimeout)
+			}
 			return fmt.Errorf("comm: waiting on world rank %d: %w", p.rank, ErrRecvTimeout)
 		}
 		return fmt.Errorf("comm: world rank %d: %w", p.rank, ErrRankFailed)
 	}
 	return nil
+}
+
+// WaitError converts any recovered comm wait panic — scoped peer
+// failure, receive timeout, or world abort — into its error, nil when
+// rec is not a comm panic (re-panic those). Unlike AsFailure it also
+// converts world aborts: it exists for helper goroutines that block on
+// comm primitives outside a Run rank (e.g. a compositor's drain loop),
+// where re-panicking abortPanic would crash the process instead of
+// reaching Run's per-rank recover. The helper recovers, converts, and
+// reports the error to its owning rank.
+func WaitError(rec any) error {
+	if _, ok := rec.(abortPanic); ok {
+		return ErrAborted
+	}
+	return AsFailure(rec)
 }
 
 // message is one in-flight payload.
@@ -137,11 +156,103 @@ func (m *mailbox) take(tag int) message {
 	}
 }
 
+// inboxMsg is one message in a rank's any-source inbox.
+type inboxMsg struct {
+	src     int // world rank of the sender
+	tag     int
+	payload any
+	bytes   int
+}
+
+// inbox is one rank's any-source tagged mailbox, backing Post/Take —
+// the asynchronous tile-routing path of the distributed-framebuffer
+// compositor. Unlike the per-(src,dst) mailboxes, messages from all
+// senders land in one queue in arrival order, and a receiver can wait
+// on a tag without naming a sender.
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []inboxMsg
+	world *World
+}
+
+func newInbox(w *World) *inbox {
+	ib := &inbox{world: w}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(msg inboxMsg) {
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, msg)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+// take blocks until a message with the given tag is present and
+// removes it. expect optionally lists world ranks still owed messages
+// under this tag: when the queue has no match and one of them is
+// marked failed, take fails fast with that rank instead of waiting for
+// a fragment that will never arrive. Abort and RecvTimeout semantics
+// match mailbox.take; queued messages are scanned before the failure
+// checks so data a peer posted before dying still delivers.
+func (ib *inbox) take(tag int, expect []int) inboxMsg {
+	var deadline time.Time
+	if d := ib.world.recvTimeout; d > 0 {
+		deadline = time.Now().Add(d)
+		t := time.AfterFunc(d, func() {
+			ib.mu.Lock()
+			ib.cond.Broadcast()
+			ib.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if ib.world.aborted.Load() {
+			panic(abortPanic{})
+		}
+		for i, msg := range ib.queue {
+			if msg.tag == tag {
+				ib.queue = append(ib.queue[:i], ib.queue[i+1:]...)
+				return msg
+			}
+		}
+		for _, r := range expect {
+			if r >= 0 && r < ib.world.size && ib.world.failed[r].Load() {
+				panic(failPanic{rank: r})
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			panic(failPanic{rank: -1, timeout: true})
+		}
+		ib.cond.Wait()
+	}
+}
+
+// tryTake removes and returns a message with the given tag if one is
+// queued.
+func (ib *inbox) tryTake(tag int) (inboxMsg, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for i, msg := range ib.queue {
+		if msg.tag == tag {
+			ib.queue = append(ib.queue[:i], ib.queue[i+1:]...)
+			return msg, true
+		}
+	}
+	return inboxMsg{}, false
+}
+
 // World is a set of P ranks with all-pairs mailboxes.
 type World struct {
 	size int
 	// boxes[dst][src] is the mailbox for messages src -> dst.
 	boxes [][]*mailbox
+	// inboxes[dst] is the any-source tagged inbox of each rank
+	// (Post/Take).
+	inboxes []*inbox
 
 	barrier *barrier
 	aborted atomic.Bool
@@ -171,11 +282,13 @@ func NewWorld(p int) (*World, error) {
 	w.barrier = newBarrier(w, allRanks(p))
 	w.bytesRecvBy = make([]atomic.Int64, p)
 	w.boxes = make([][]*mailbox, p)
+	w.inboxes = make([]*inbox, p)
 	for dst := range w.boxes {
 		w.boxes[dst] = make([]*mailbox, p)
 		for src := range w.boxes[dst] {
 			w.boxes[dst][src] = newMailbox(w, src)
 		}
+		w.inboxes[dst] = newInbox(w)
 	}
 	return w, nil
 }
@@ -231,6 +344,11 @@ func (w *World) wakeAll() {
 			mb.cond.Broadcast()
 			mb.mu.Unlock()
 		}
+	}
+	for _, ib := range w.inboxes {
+		ib.mu.Lock()
+		ib.cond.Broadcast()
+		ib.mu.Unlock()
 	}
 	w.barrier.broadcast()
 	w.gbMu.Lock()
@@ -314,6 +432,72 @@ func (c *Comm) SendRecv(partner, tag int, payload any, nbytes int) (got any, got
 	return c.Recv(partner, tag)
 }
 
+// Post delivers payload to local rank dst's any-source inbox under
+// tag. Like Send it never blocks and transfers payload ownership;
+// unlike Send the receiver matches it with Take/TryTake without
+// naming the sender, and arrival order across senders is preserved.
+// Post is safe to call from helper goroutines of the rank (e.g.
+// render workers shipping finished tiles) and dst may be the caller's
+// own rank (self-delivery, used for drain-loop wakeups).
+func (c *Comm) Post(dst, tag int, payload any, nbytes int) {
+	if dst < 0 || dst >= len(c.ranks) {
+		panic(fmt.Sprintf("comm: post to rank %d of %d", dst, len(c.ranks)))
+	}
+	wsrc, wdst := c.ranks[c.rank], c.ranks[dst]
+	c.world.bytesSent.Add(int64(nbytes))
+	c.world.msgsSent.Add(1)
+	c.world.inboxes[wdst].put(inboxMsg{src: wsrc, tag: tag, payload: payload, bytes: nbytes})
+}
+
+// Take blocks until a message posted under tag is in this rank's
+// inbox, removes it, and returns the sender's communicator-local rank
+// (-1 if the sender is outside this communicator) with the payload.
+// expect optionally lists local ranks still owed messages under this
+// tag: if the inbox has no match and one of them has failed, Take
+// fails fast (ErrRankFailed via AsFailure) instead of waiting for a
+// message that will never come. World aborts and the world's
+// RecvTimeout apply as in Recv; a timeout surfaces as ErrRecvTimeout
+// with no peer attributed (any-source waits have no single culprit).
+func (c *Comm) Take(tag int, expect ...int) (src int, payload any, nbytes int) {
+	wdst := c.ranks[c.rank]
+	var wexpect []int
+	if len(expect) > 0 {
+		wexpect = make([]int, 0, len(expect))
+		for _, e := range expect {
+			if e < 0 || e >= len(c.ranks) {
+				panic(fmt.Sprintf("comm: take expects rank %d of %d", e, len(c.ranks)))
+			}
+			wexpect = append(wexpect, c.ranks[e])
+		}
+	}
+	msg := c.world.inboxes[wdst].take(tag, wexpect)
+	c.world.bytesRecvBy[wdst].Add(int64(msg.bytes))
+	return c.localRank(msg.src), msg.payload, msg.bytes
+}
+
+// TryTake is the non-blocking Take: ok reports whether a matching
+// message was present.
+func (c *Comm) TryTake(tag int) (src int, payload any, nbytes int, ok bool) {
+	wdst := c.ranks[c.rank]
+	msg, ok := c.world.inboxes[wdst].tryTake(tag)
+	if !ok {
+		return -1, nil, 0, false
+	}
+	c.world.bytesRecvBy[wdst].Add(int64(msg.bytes))
+	return c.localRank(msg.src), msg.payload, msg.bytes, true
+}
+
+// localRank maps a world rank to this communicator's local rank, -1
+// when the world rank is not a member.
+func (c *Comm) localRank(world int) int {
+	for l, w := range c.ranks {
+		if w == world {
+			return l
+		}
+	}
+	return -1
+}
+
 // Barrier blocks until every rank of this communicator has entered.
 func (c *Comm) Barrier() { c.bar.await() }
 
@@ -323,8 +507,10 @@ func (c *Comm) Barrier() { c.bar.await() }
 // applied to its member index. Non-members must not call it.
 //
 // Implementation note: sub-communicators share the world mailboxes, so
-// tags must not collide across concurrent groups; callers namespace
-// tags (the pipeline uses disjoint tag ranges per group).
+// tags must not collide across concurrent groups; callers draw tags
+// from the central registry (RegisterTagClass / TagClass.Tag), whose
+// per-step blocks keep concurrent groups — always on different
+// pipeline steps — disjoint by construction.
 func (c *Comm) Group(members []int) (*Comm, error) {
 	idx := -1
 	ranks := make([]int, len(members))

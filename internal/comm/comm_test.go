@@ -5,9 +5,12 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func TestNewWorldValidation(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if _, err := NewWorld(0); err == nil {
 		t.Fatal("want error for size 0")
 	}
@@ -18,6 +21,7 @@ func TestNewWorldValidation(t *testing.T) {
 }
 
 func TestPointToPoint(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Send(1, 7, "hello", 5)
@@ -35,6 +39,7 @@ func TestPointToPoint(t *testing.T) {
 }
 
 func TestTagMatchingOutOfOrder(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Send(1, 1, "first", 0)
@@ -55,6 +60,7 @@ func TestTagMatchingOutOfOrder(t *testing.T) {
 }
 
 func TestFIFOPerTag(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		const N = 100
 		if c.Rank() == 0 {
@@ -77,6 +83,7 @@ func TestFIFOPerTag(t *testing.T) {
 }
 
 func TestAnyTag(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Send(1, 42, "x", 0)
@@ -94,6 +101,7 @@ func TestAnyTag(t *testing.T) {
 }
 
 func TestSendRecvExchange(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		partner := 1 - c.Rank()
 		got, _ := c.SendRecv(partner, 9, c.Rank(), 4)
@@ -108,6 +116,7 @@ func TestSendRecvExchange(t *testing.T) {
 }
 
 func TestBarrierOrdering(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var phase atomic.Int32
 	err := Run(8, func(c *Comm) error {
 		if c.Rank() == 3 {
@@ -127,6 +136,7 @@ func TestBarrierOrdering(t *testing.T) {
 }
 
 func TestAllPairsTraffic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const P = 6
 	err := Run(P, func(c *Comm) error {
 		for dst := 0; dst < P; dst++ {
@@ -150,6 +160,7 @@ func TestAllPairsTraffic(t *testing.T) {
 }
 
 func TestGroupCommunicator(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Split 8 ranks into 2 groups of 4; exchange within each group.
 	err := Run(8, func(c *Comm) error {
 		gid := c.Rank() / 4
@@ -183,6 +194,7 @@ func TestGroupCommunicator(t *testing.T) {
 }
 
 func TestGroupErrors(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(4, func(c *Comm) error {
 		if c.Rank() != 0 {
 			return nil
@@ -201,6 +213,7 @@ func TestGroupErrors(t *testing.T) {
 }
 
 func TestTrafficAccounting(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	w, err := NewWorld(2)
 	if err != nil {
 		t.Fatal(err)
@@ -223,6 +236,7 @@ func TestTrafficAccounting(t *testing.T) {
 // A failing rank must not leave peers blocked in Recv forever: the
 // world aborts and Run returns the real error.
 func TestAbortUnblocksRecv(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	boom := fmt.Errorf("rank 0 failed")
 	done := make(chan error, 1)
 	go func() {
@@ -247,6 +261,7 @@ func TestAbortUnblocksRecv(t *testing.T) {
 
 // The same for ranks waiting at a barrier.
 func TestAbortUnblocksBarrier(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	boom := fmt.Errorf("rank 2 failed")
 	done := make(chan error, 1)
 	go func() {
@@ -269,6 +284,7 @@ func TestAbortUnblocksBarrier(t *testing.T) {
 }
 
 func TestRunPropagatesError(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	sentinel := fmt.Errorf("boom")
 	err := Run(3, func(c *Comm) error {
 		if c.Rank() == 2 {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // recvGuarded receives and converts a comm failure panic to an error,
@@ -23,6 +25,7 @@ func recvGuarded(c *Comm, src, tag int) (payload any, err error) {
 }
 
 func TestRecvTimeoutSurfacesAsError(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := RunWith(2, RunConfig{RecvTimeout: 50 * time.Millisecond}, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Recv(1, 7) // rank 1 never sends
@@ -35,6 +38,7 @@ func TestRecvTimeoutSurfacesAsError(t *testing.T) {
 }
 
 func TestMarkFailedWakesBlockedReceiver(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Recv(1, 7)
@@ -50,6 +54,7 @@ func TestMarkFailedWakesBlockedReceiver(t *testing.T) {
 }
 
 func TestQueuedMessagesDeliverBeforeFailure(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 1 {
 			c.Send(0, 7, "last words", 0)
@@ -76,6 +81,7 @@ func TestQueuedMessagesDeliverBeforeFailure(t *testing.T) {
 }
 
 func TestBarrierFailsWithDeadMember(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := Run(3, func(c *Comm) error {
 		if c.Rank() == 2 {
 			time.Sleep(20 * time.Millisecond)
@@ -91,6 +97,7 @@ func TestBarrierFailsWithDeadMember(t *testing.T) {
 }
 
 func TestFailureScopedToWaiters(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Ranks 2,3 never touch the failed rank and must finish normally.
 	done := make(chan int, 4)
 	err := Run(4, func(c *Comm) error {
@@ -121,6 +128,7 @@ func TestFailureScopedToWaiters(t *testing.T) {
 }
 
 func TestAsFailureIgnoresForeignPanics(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if err := AsFailure("boom"); err != nil {
 		t.Fatalf("AsFailure(non-comm) = %v, want nil", err)
 	}

@@ -16,12 +16,33 @@ import (
 	"repro/internal/vol"
 )
 
+// Tag classes of the compositing exchanges, drawn from comm's central
+// registry so composite and pipeline traffic sharing one world can
+// never collide (each class gets a disjoint block, keyed per step).
+var (
+	tagSwap   = comm.RegisterTagClass("composite.swap", maxSwapStages)
+	tagGather = comm.RegisterTagClass("composite.gather", 1)
+	tagDirect = comm.RegisterTagClass("composite.direct", 1)
+	tagTile   = comm.RegisterTagClass("composite.tile", 1)
+)
+
+// maxSwapStages bounds the binary-swap stage count (2^32 ranks —
+// unreachable; it only sizes the tag class).
+const maxSwapStages = 32
+
 // VisibilityOrder returns a front-to-back permutation of boxes as seen
 // from eye. The boxes must tile a convex region by axis-aligned cuts
 // (any decomposition produced by vol.SplitKD qualifies): the order is
 // derived by recursively locating a separating plane and visiting the
 // eye's side first, which is correct for every ray simultaneously.
 func VisibilityOrder(boxes []vol.Box, eye render.Vec3) ([]int, error) {
+	switch len(boxes) {
+	case 0:
+		return nil, fmt.Errorf("composite: no boxes to order")
+	case 1:
+		// Fast path: a lone box needs no plane search.
+		return []int{0}, nil
+	}
 	idx := make([]int, len(boxes))
 	for i := range idx {
 		idx[i] = i
@@ -40,6 +61,14 @@ func visitBSP(boxes []vol.Box, idx []int, eye render.Vec3, out *[]int) error {
 	}
 	axis, plane, ok := separatingPlane(boxes, idx)
 	if !ok {
+		// Degenerate boxes (a zero-thickness cut, e.g. from splitting a
+		// dimension below its cell count) defeat the plane search; name
+		// the culprit instead of reporting a generic BSP failure.
+		for _, i := range idx {
+			if b := boxes[i]; b.X1 <= b.X0 || b.Y1 <= b.Y0 || b.Z1 <= b.Z0 {
+				return fmt.Errorf("composite: degenerate (zero-thickness) box %d %+v in decomposition — cannot order", i, b)
+			}
+		}
 		return fmt.Errorf("composite: no separating plane for %d boxes — not a BSP decomposition", len(idx))
 	}
 	var lo, hi []int
@@ -49,6 +78,12 @@ func visitBSP(boxes []vol.Box, idx []int, eye render.Vec3, out *[]int) error {
 		} else {
 			hi = append(hi, i)
 		}
+	}
+	if len(lo) == 0 || len(hi) == 0 {
+		// Defensive: separatingPlane guarantees both sides nonempty with
+		// the same classification; erroring here beats recursing forever
+		// on the full set if that invariant is ever broken.
+		return fmt.Errorf("composite: separating plane axis %d at %d left an empty side (%d/%d boxes)", axis, plane, len(lo), len(hi))
 	}
 	eyeC := [3]float64{eye.X, eye.Y, eye.Z}[axis]
 	near, far := lo, hi
@@ -114,9 +149,10 @@ func pieceBytes(p *img.RGBA) int { return len(p.Pix) * 4 }
 // may img.PutRGBA it when finished (dropping it is also fine). The
 // caller's im is never recycled.
 //
-// tagBase namespaces the exchange tags so concurrent groups sharing a
-// world do not cross-talk.
-func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, tagBase int) (img.Region, *img.RGBA, error) {
+// step namespaces the exchange tags (via the comm tag registry) so
+// concurrent groups sharing a world — always on different pipeline
+// steps — do not cross-talk.
+func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, step int) (img.Region, *img.RGBA, error) {
 	p := c.Size()
 	if p&(p-1) != 0 {
 		return img.Region{}, nil, fmt.Errorf("composite: binary-swap needs power-of-two group, got %d", p)
@@ -147,8 +183,8 @@ func BinarySwap(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, ta
 		if cur.im != im {
 			img.PutRGBA(cur.im)
 		}
-		c.Send(partner, tagBase+s, giveIm, pieceBytes(giveIm))
-		got, _ := c.Recv(partner, tagBase+s)
+		c.Send(partner, tagSwap.Tag(step, s), giveIm, pieceBytes(giveIm))
+		got, _ := c.Recv(partner, tagSwap.Tag(step, s))
 		theirs, ok := got.(*img.RGBA)
 		if !ok {
 			return img.Region{}, nil, fmt.Errorf("composite: unexpected payload %T", got)
@@ -201,33 +237,48 @@ func relRegion(r, base img.Region) img.Region {
 }
 
 // iAmFront decides whether rank's subtree at stage s is in front of
-// partner's. The two subtrees are {ranks sharing bits above s, bit s
-// fixed}; under the recursive-bisection rank assignment their box
-// unions are separated by an axis plane.
+// partner's. The two subtrees are the halves of the parent rank range
+// {ranks sharing bits above s}; under the recursive-bisection rank
+// assignment their box unions are separated by an axis plane. The
+// decision delegates to frontRange — the same function the DFB merge
+// tree uses — so both compositors blend in exactly the same order.
 func iAmFront(boxes []vol.Box, rank, partner, s int, eye render.Vec3) (bool, error) {
-	mine := subtreeUnion(boxes, rank, s)
-	theirs := subtreeUnion(boxes, partner, s)
-	for axis := 0; axis < 3; axis++ {
-		eyeC := [3]float64{eye.X, eye.Y, eye.Z}[axis]
-		if boxMax(mine, axis) <= boxMin(theirs, axis) {
-			// mine is on the low side of the plane.
-			return eyeC < float64(boxMax(mine, axis)), nil
-		}
-		if boxMax(theirs, axis) <= boxMin(mine, axis) {
-			return eyeC > float64(boxMax(theirs, axis)), nil
-		}
+	base := rank & ^((1 << (s + 1)) - 1)
+	mid := base + (1 << s)
+	leftFront, err := frontRange(boxes, base, mid, base+(1<<(s+1)), eye)
+	if err != nil {
+		return false, err
 	}
-	return false, fmt.Errorf("composite: subtrees of ranks %d and %d not separated — boxes must come from recursive bisection in rank order", rank, partner)
+	return leftFront == (rank < mid), nil
 }
 
-// subtreeUnion returns the bounding box of the content rank r holds
-// entering stage s: the boxes of the 2^s ranks sharing r's bits at
-// position s and above.
-func subtreeUnion(boxes []vol.Box, r, s int) vol.Box {
-	mask := ^((1 << s) - 1)
-	base := r & mask
+// frontRange reports whether the union of boxes[lo:mid) is in front of
+// boxes[mid:hi) as seen from eye. This is the single front/back
+// arbiter for binary-swap stages and DFB tile merges: because both use
+// it on identical (lo, mid, hi) splits, their blend trees apply the
+// over operator to the same operands in the same order, which is what
+// makes the two compositors bit-identical despite float
+// non-associativity.
+func frontRange(boxes []vol.Box, lo, mid, hi int, eye render.Vec3) (bool, error) {
+	left := rangeUnion(boxes, lo, mid)
+	right := rangeUnion(boxes, mid, hi)
+	for axis := 0; axis < 3; axis++ {
+		eyeC := [3]float64{eye.X, eye.Y, eye.Z}[axis]
+		if boxMax(left, axis) <= boxMin(right, axis) {
+			// left is on the low side of the plane.
+			return eyeC < float64(boxMax(left, axis)), nil
+		}
+		if boxMax(right, axis) <= boxMin(left, axis) {
+			return eyeC > float64(boxMax(right, axis)), nil
+		}
+	}
+	return false, fmt.Errorf("composite: subtrees [%d,%d) and [%d,%d) not separated — boxes must come from recursive bisection in rank order", lo, mid, mid, hi)
+}
+
+// rangeUnion returns the bounding box of boxes[lo:hi).
+func rangeUnion(boxes []vol.Box, lo, hi int) vol.Box {
 	u := vol.Box{X0: 1 << 30, Y0: 1 << 30, Z0: 1 << 30, X1: -(1 << 30), Y1: -(1 << 30), Z1: -(1 << 30)}
-	for i := base; i < base+(1<<s) && i < len(boxes); i++ {
+	for i := lo; i < hi && i < len(boxes); i++ {
 		b := boxes[i]
 		if b.X0 < u.X0 {
 			u.X0 = b.X0
@@ -252,11 +303,13 @@ func subtreeUnion(boxes []vol.Box, r, s int) vol.Box {
 }
 
 // FinalGather assembles the per-rank composited pieces into a full
-// frame at root. Every rank calls it with its piece from BinarySwap;
-// only root receives a non-nil image. Ownership of pc transfers to
-// FinalGather on every rank: root recycles the received pieces into
-// the img pool after blitting (its own pc is left to the caller).
-func FinalGather(c *comm.Comm, reg img.Region, pc *img.RGBA, w, h, root, tag int) (*img.RGBA, error) {
+// frame at root. Every rank calls it with its piece from BinarySwap
+// and the same step; only root receives a non-nil image. Ownership of
+// pc transfers to FinalGather on every rank: root recycles the
+// received pieces into the img pool after blitting (its own pc is
+// left to the caller).
+func FinalGather(c *comm.Comm, reg img.Region, pc *img.RGBA, w, h, root, step int) (*img.RGBA, error) {
+	tag := tagGather.Tag(step, 0)
 	if c.Rank() != root {
 		c.Send(root, tag, piece{reg: reg, im: pc}, pieceBytes(pc))
 		return nil, nil
@@ -285,8 +338,10 @@ func FinalGather(c *comm.Comm, reg img.Region, pc *img.RGBA, w, h, root, tag int
 // DirectSend composites by shipping every partial image to root, which
 // sorts them into visibility order and applies the over operator. It
 // works for any group size and serves as the correctness baseline for
-// BinarySwap. Only root returns a non-nil image.
-func DirectSend(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, root, tag int) (*img.RGBA, error) {
+// BinarySwap (and for DFB's non-power-of-two merge order). Only root
+// returns a non-nil image.
+func DirectSend(c *comm.Comm, im *img.RGBA, boxes []vol.Box, eye render.Vec3, root, step int) (*img.RGBA, error) {
+	tag := tagDirect.Tag(step, 0)
 	if len(boxes) != c.Size() {
 		return nil, fmt.Errorf("composite: %d boxes for %d ranks", len(boxes), c.Size())
 	}

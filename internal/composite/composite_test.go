@@ -12,9 +12,12 @@ import (
 	"repro/internal/render"
 	"repro/internal/tf"
 	"repro/internal/vol"
+
+	"repro/internal/testutil"
 )
 
 func TestVisibilityOrderSimpleSplit(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	boxes := []vol.Box{
 		{X0: 0, Y0: 0, Z0: 0, X1: 5, Y1: 10, Z1: 10},
 		{X0: 5, Y0: 0, Z0: 0, X1: 10, Y1: 10, Z1: 10},
@@ -38,6 +41,7 @@ func TestVisibilityOrderSimpleSplit(t *testing.T) {
 }
 
 func TestVisibilityOrderKD(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	boxes, err := vol.SplitKD(vol.Dims{NX: 32, NY: 32, NZ: 32}, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +75,7 @@ func TestVisibilityOrderKD(t *testing.T) {
 }
 
 func TestVisibilityOrderRejectsNonBSP(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// A pinwheel of 4 boxes in the plane has no separating plane.
 	boxes := []vol.Box{
 		{X0: 0, Y0: 0, Z0: 0, X1: 6, Y1: 4, Z1: 1},
@@ -131,6 +136,7 @@ func maxDiff(a, b *img.RGBA) float64 {
 }
 
 func TestDirectSendMatchesReference(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const P, W, H = 6, 40, 40
 	ref, partials, boxes, cam := renderPartials(t, P, W, H)
 	var got *img.RGBA
@@ -161,6 +167,7 @@ func TestDirectSendMatchesReference(t *testing.T) {
 }
 
 func TestBinarySwapMatchesReference(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	for _, P := range []int{2, 4, 8, 16} {
 		P := P
 		t.Run(fmt.Sprint(P), func(t *testing.T) {
@@ -200,6 +207,7 @@ func TestBinarySwapMatchesReference(t *testing.T) {
 // Binary-swap and direct-send must agree with each other for many
 // viewpoints — the eye position drives the front/back decisions.
 func TestBinarySwapManyViewpoints(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const P, W, H = 8, 32, 32
 	g := datagen.NewVortexScaled(0.15, 2)
 	v, err := g.Step(0)
@@ -261,6 +269,7 @@ func TestBinarySwapManyViewpoints(t *testing.T) {
 }
 
 func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := comm.Run(3, func(c *comm.Comm) error {
 		_, _, err := BinarySwap(c, img.NewRGBA(8, 8), make([]vol.Box, 3), render.Vec3{}, 0)
 		if err == nil {
@@ -274,6 +283,7 @@ func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
 }
 
 func TestBinarySwapRejectsBoxCountMismatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	err := comm.Run(2, func(c *comm.Comm) error {
 		_, _, err := BinarySwap(c, img.NewRGBA(8, 8), make([]vol.Box, 3), render.Vec3{}, 0)
 		if err == nil {
@@ -288,6 +298,7 @@ func TestBinarySwapRejectsBoxCountMismatch(t *testing.T) {
 
 // The per-rank regions after binary-swap must tile the image.
 func TestBinarySwapRegionsTile(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const P, W, H = 8, 64, 48
 	_, partials, boxes, cam := renderPartials(t, P, W, H)
 	regions := make([]img.Region, P)
@@ -347,6 +358,7 @@ func BenchmarkBinarySwap8(b *testing.B) {
 // image's worth. This link-bottleneck relief is why the paper's
 // renderer composites with binary-swap [16].
 func TestBinarySwapRelievesRootLink(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const P, W, H = 8, 64, 64
 	_, partials, boxes, cam := renderPartials(t, P, W, H)
 

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDFBExperiment(t *testing.T) {
+	c, out := quickCtx()
+	res, err := c.DFB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BitIdentical {
+		t.Fatal("DFB not bit-identical to binary-swap on the live run")
+	}
+	if res.DFBBytes <= 0 || res.DFBBytes >= res.SwapBytes {
+		t.Fatalf("bytes: DFB %d vs swap %d", res.DFBBytes, res.SwapBytes)
+	}
+	if res.TilesStreamed <= 0 {
+		t.Fatalf("no tiles streamed (%d)", res.TilesStreamed)
+	}
+	if len(res.Scales) != 4 {
+		t.Fatalf("scales %v", res.Scales)
+	}
+	for _, s := range res.Scales {
+		if s.DFBCriticalMS >= s.BarrierCriticalMS {
+			t.Errorf("G=%d: DFB critical %.3fms >= barrier %.3fms", s.G, s.DFBCriticalMS, s.BarrierCriticalMS)
+		}
+		if s.Overlap <= 0 || s.Overlap > 1 {
+			t.Errorf("G=%d: overlap %v", s.G, s.Overlap)
+		}
+	}
+	// The CI gate reads these fields from BENCH_dfb.json.
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"bit_identical", "scales", "barrier_critical_ms", "dfb_critical_ms", "overlap", "stream_overlap"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("JSON missing %q: %s", key, data)
+		}
+	}
+	if out.Len() == 0 {
+		t.Fatal("no printed output")
+	}
+}

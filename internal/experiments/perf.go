@@ -49,7 +49,7 @@ type PerfResult struct {
 	// FramePathAllocsPerFrame counts heap allocations of the full
 	// pooled frame path: render -> pooled quantize -> raw encode ->
 	// recycle, steady state.
-	FramePathAllocsPerFrame float64 `json:"frame_path_allocs_per_frame"`
+	FramePathAllocsPerFrame float64          `json:"frame_path_allocs_per_frame"`
 	Codecs                  []PerfCodecPoint `json:"codecs"`
 }
 

@@ -1,0 +1,324 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/composite"
+	"repro/internal/img"
+	"repro/internal/render"
+	"repro/internal/testutil"
+)
+
+// runFrames renders every step with the given options and returns the
+// delivered frames indexed by step.
+func runFrames(t *testing.T, steps int, opt Options) []*Frame {
+	t.Helper()
+	store := testStore(steps)
+	frames := make([]*Frame, steps)
+	var mu sync.Mutex
+	if _, err := Run(store, opt, func(f *Frame) error {
+		mu.Lock()
+		frames[f.Step] = f
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for s, f := range frames {
+		if f == nil {
+			t.Fatalf("step %d not delivered", s)
+		}
+	}
+	return frames
+}
+
+// The pipeline-level acceptance bar of the refactor: switching the
+// compositor from binary-swap to the DFB must not change a single
+// pixel float of any delivered frame.
+func TestDFBPipelineBitIdenticalToBinarySwap(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps = 2
+	opt := baseOptions(4, 1)
+	opt.Render.TerminationAlpha = 1
+	swap := runFrames(t, steps, opt)
+
+	opt.Compositor = CompositorDFB
+	dfb := runFrames(t, steps, opt)
+
+	for s := 0; s < steps; s++ {
+		if dfb[s].TilesStreamed == 0 || dfb[s].CompositeOverlap < 0 || dfb[s].CompositeOverlap > 1 {
+			t.Fatalf("step %d: TilesStreamed=%d CompositeOverlap=%v",
+				s, dfb[s].TilesStreamed, dfb[s].CompositeOverlap)
+		}
+		for i := range swap[s].Image.Pix {
+			if swap[s].Image.Pix[i] != dfb[s].Image.Pix[i] {
+				t.Fatalf("step %d pixel float %d: DFB %v != binary-swap %v",
+					s, i, dfb[s].Image.Pix[i], swap[s].Image.Pix[i])
+			}
+		}
+	}
+}
+
+// DFB lifts binary-swap's power-of-two restriction: P=6, L=2 gives
+// groups of three, which binary-swap rejects outright and the DFB
+// composites via the direct-send-identical linear merge.
+func TestDFBNonPow2GroupMatchesSerial(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps = 2
+	opt := baseOptions(6, 2)
+	opt.Render = render.DefaultOptions()
+	opt.Render.TerminationAlpha = 1
+
+	if _, err := Run(testStore(steps), opt, nil); err == nil {
+		t.Fatal("binary-swap accepted group size 3")
+	}
+	opt.Compositor = CompositorDFB
+	frames := runFrames(t, steps, opt)
+
+	store := testStore(steps)
+	for s := 0; s < steps; s++ {
+		v, err := store.Fetch(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cam, err := render.NewOrbitCamera(store.Dims(), 0.6, 0.35, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := render.Render(v, cam, opt.TF, opt.Render, opt.ImageW, opt.ImageH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pix {
+			if math.Abs(float64(want.Pix[i]-frames[s].Image.Pix[i])) > 5e-3 {
+				t.Fatalf("step %d pixel float %d: %v vs serial %v",
+					s, i, frames[s].Image.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+// OnTile must stream every tile of every step exactly once, tagged
+// with the group that rendered the step — before the frame arrives.
+func TestDFBOnTileStreamsEveryTileOnce(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps, tileRows = 4, 4
+	opt := baseOptions(4, 2)
+	opt.Compositor = CompositorDFB
+	opt.TileRows = tileRows
+	opt.Render.TerminationAlpha = 1
+
+	numTiles := (opt.ImageH + tileRows - 1) / tileRows
+	var mu sync.Mutex
+	seen := map[[2]int]int{}        // (step, tile index) -> count
+	tileSum := map[[2]int]float32{} // (step, tile index) -> pixel checksum
+	opt.OnTile = func(gid, step int, tl composite.Tile) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if wantGid := step % opt.L; gid != wantGid {
+			return fmt.Errorf("step %d streamed from group %d, want %d", step, gid, wantGid)
+		}
+		if tl.Region.X1 != opt.ImageW || tl.Region.Y0 != tl.Index*tileRows {
+			return fmt.Errorf("tile %d region %+v", tl.Index, tl.Region)
+		}
+		k := [2]int{step, tl.Index}
+		seen[k]++
+		var sum float32
+		for _, p := range tl.Image.Pix {
+			sum += p
+		}
+		tileSum[k] = sum
+		return nil
+	}
+
+	frames := runFrames(t, steps, opt)
+	for s := 0; s < steps; s++ {
+		if frames[s].TilesStreamed != numTiles {
+			t.Fatalf("step %d TilesStreamed = %d, want %d", s, frames[s].TilesStreamed, numTiles)
+		}
+		for ti := 0; ti < numTiles; ti++ {
+			k := [2]int{s, ti}
+			if seen[k] != 1 {
+				t.Fatalf("step %d tile %d streamed %d times", s, ti, seen[k])
+			}
+			// The streamed tile's pixels are the frame's pixels for
+			// that region (exact: same floats, same add order).
+			sub, err := frames[s].Image.SubRGBA(img.Region{
+				X0: 0, Y0: ti * tileRows, X1: opt.ImageW, Y1: min(ti*tileRows+tileRows, opt.ImageH)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float32
+			for _, p := range sub.Pix {
+				sum += p
+			}
+			if sum != tileSum[k] {
+				t.Fatalf("step %d tile %d: streamed checksum %v != frame region %v", s, ti, tileSum[k], sum)
+			}
+		}
+	}
+}
+
+// EmitPieces under the DFB delivers each owner's composited tiles as
+// pieces; blitted together they must equal the assembled frame.
+func TestDFBEmitPiecesMatchAssembled(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps = 2
+	opt := baseOptions(4, 1)
+	opt.Compositor = CompositorDFB
+	opt.Render.TerminationAlpha = 1
+	assembled := runFrames(t, steps, opt)
+
+	opt.EmitPieces = true
+	pieces := runFrames(t, steps, opt)
+	for s := 0; s < steps; s++ {
+		if pieces[s].Image != nil || len(pieces[s].Pieces) == 0 {
+			t.Fatalf("step %d: image %v, %d pieces", s, pieces[s].Image, len(pieces[s].Pieces))
+		}
+		got := img.NewRGBA(opt.ImageW, opt.ImageH)
+		covered := 0
+		for _, p := range pieces[s].Pieces {
+			got.BlitRGBA(p.Image, p.Region)
+			covered += (p.Region.X1 - p.Region.X0) * (p.Region.Y1 - p.Region.Y0)
+		}
+		if covered != opt.ImageW*opt.ImageH {
+			t.Fatalf("step %d: pieces cover %d of %d pixels", s, covered, opt.ImageW*opt.ImageH)
+		}
+		for i := range got.Pix {
+			if got.Pix[i] != assembled[s].Image.Pix[i] {
+				t.Fatalf("step %d pixel float %d: pieces %v != assembled %v",
+					s, i, got.Pix[i], assembled[s].Image.Pix[i])
+			}
+		}
+	}
+}
+
+// A node crash under the DFB must degrade exactly like under
+// binary-swap: the group dies, its steps are marked failed, the other
+// groups keep rendering — and no drain goroutine leaks.
+func TestDFBGroupFailureSkipAndContinue(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps = 6
+	store := testStore(steps)
+	opt := baseOptions(4, 2)
+	opt.Compositor = CompositorDFB
+	opt.ContinueOnFailure = true
+	opt.FaultFn = func(gid, rank, step int) error {
+		if gid == 0 && rank == 1 && step == 2 {
+			return errors.New("injected crash")
+		}
+		return nil
+	}
+	var mu sync.Mutex
+	delivered := map[int]bool{}
+	failed := map[int]error{}
+	opt.OnFailure = func(gid, step int, err error) {
+		mu.Lock()
+		failed[step] = err
+		mu.Unlock()
+	}
+	m, err := Run(store, opt, func(f *Frame) error {
+		mu.Lock()
+		delivered[f.Step] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed instead of degrading: %v", err)
+	}
+	for _, s := range []int{0, 1, 3, 5} {
+		if !delivered[s] {
+			t.Errorf("step %d not delivered", s)
+		}
+	}
+	for _, s := range []int{2, 4} {
+		if delivered[s] || failed[s] == nil {
+			t.Errorf("step %d: delivered=%v cause=%v", s, delivered[s], failed[s])
+		}
+	}
+	if m.Frames != 4 || m.FailedSteps != 2 || m.GroupFailures != 1 {
+		t.Errorf("metrics = %+v, want Frames=4 FailedSteps=2 GroupFailures=1", m)
+	}
+}
+
+// A stalled (not crashed) node: its groupmates' DFB drains are waiting
+// on fragments that never come, and must fail fast via the expect set
+// or the step timeout instead of hanging — skip-and-continue as usual.
+func TestDFBStalledNodeDetected(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps = 6
+	store := testStore(steps)
+	opt := baseOptions(4, 2)
+	opt.Compositor = CompositorDFB
+	opt.ContinueOnFailure = true
+	opt.StepTimeout = 100 * time.Millisecond
+	opt.FaultFn = func(gid, rank, step int) error {
+		if gid == 0 && rank == 1 && step == 2 {
+			time.Sleep(600 * time.Millisecond)
+		}
+		return nil
+	}
+	var mu sync.Mutex
+	causes := map[int]error{}
+	opt.OnFailure = func(gid, step int, err error) {
+		mu.Lock()
+		causes[step] = err
+		mu.Unlock()
+	}
+	m, err := Run(store, opt, nil)
+	if err != nil {
+		t.Fatalf("run failed instead of degrading: %v", err)
+	}
+	if m.GroupFailures != 1 {
+		t.Fatalf("metrics = %+v, want exactly one group failure", m)
+	}
+	if m.Frames+m.FailedSteps != steps {
+		t.Fatalf("metrics = %+v, frames+failed != %d", m, steps)
+	}
+	mu.Lock()
+	cause := causes[2]
+	mu.Unlock()
+	if !errors.Is(cause, comm.ErrRecvTimeout) && !errors.Is(cause, comm.ErrRankFailed) {
+		t.Fatalf("step 2 cause = %v, want recv-timeout/rank-failed", cause)
+	}
+}
+
+// Parallel in-group rendering (Workers > 1) streams tiles from worker
+// goroutines concurrently; the frame must stay bit-identical to the
+// serial DFB run.
+func TestDFBParallelRenderWorkers(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const steps = 2
+	opt := baseOptions(4, 1)
+	opt.Compositor = CompositorDFB
+	opt.Render.TerminationAlpha = 1
+	serial := runFrames(t, steps, opt)
+
+	opt.Render.Workers = 3
+	par := runFrames(t, steps, opt)
+	for s := 0; s < steps; s++ {
+		for i := range serial[s].Image.Pix {
+			if serial[s].Image.Pix[i] != par[s].Image.Pix[i] {
+				t.Fatalf("step %d pixel float %d differs with Workers=3", s, i)
+			}
+		}
+	}
+}
+
+// Guard against regressions in the validation matrix around the new
+// options.
+func TestDFBOptionsValidation(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	store := testStore(1)
+	bad := Options{P: 4, L: 1, ImageW: 8, ImageH: 8, TF: baseOptions(1, 1).TF,
+		Compositor: CompositorDFB, TileRows: -1}
+	if _, err := Run(store, bad, nil); err == nil {
+		t.Fatal("negative TileRows accepted")
+	}
+}

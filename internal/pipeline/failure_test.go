@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"repro/internal/testutil"
+
 	"errors"
 	"sync"
 	"testing"
@@ -13,6 +15,7 @@ import (
 )
 
 func TestNodeCrashAbortsRunByDefault(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store := testStore(4)
 	opt := baseOptions(4, 2)
 	opt.FaultFn = fault.NodeCrash(fault.CrashPlan{Group: 0, Rank: 1, Step: 0})
@@ -26,6 +29,7 @@ func TestNodeCrashAbortsRunByDefault(t *testing.T) {
 }
 
 func TestGroupFailureSkipAndContinue(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const steps = 6
 	store := testStore(steps)
 	opt := baseOptions(4, 2) // groups of 2: group 0 renders 0,2,4; group 1 renders 1,3,5
@@ -80,6 +84,7 @@ func TestGroupFailureSkipAndContinue(t *testing.T) {
 }
 
 func TestStepTimeoutDetectsHungLeader(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const steps = 6
 	store := testStore(steps)
 	opt := baseOptions(4, 2)

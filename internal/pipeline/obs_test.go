@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"repro/internal/testutil"
+
 	"testing"
 
 	"repro/internal/obs"
@@ -12,6 +14,7 @@ import (
 // fetch, render and composite spans on its group's track, plus a
 // deliver span per frame.
 func TestRunRecordsStageSpans(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const steps = 4
 	store := testStore(steps)
 	tr := obs.NewTracer(obs.WallClock(), 1024)

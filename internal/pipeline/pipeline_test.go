@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"repro/internal/testutil"
+
 	"fmt"
 	"math"
 	"path/filepath"
@@ -24,6 +26,7 @@ func baseOptions(p, l int) Options {
 }
 
 func TestOptionsValidation(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store := testStore(2)
 	bad := []Options{
 		{P: 0, L: 1, ImageW: 8, ImageH: 8, TF: tf.Jet()},
@@ -41,6 +44,7 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestAllStepsDeliveredOnce(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store := testStore(6)
 	var mu sync.Mutex
 	seen := map[int]int{}
@@ -74,6 +78,7 @@ func TestAllStepsDeliveredOnce(t *testing.T) {
 
 // The pipelined result must match a single-node render of each step.
 func TestMatchesSerialRender(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const steps = 2
 	store := testStore(steps)
 	opt := baseOptions(4, 1)
@@ -119,6 +124,7 @@ func TestMatchesSerialRender(t *testing.T) {
 
 // All valid L for a fixed P must produce identical images.
 func TestPartitioningInvariance(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const steps = 3
 	var ref []*img.RGBA
 	for _, l := range []int{1, 2, 4} {
@@ -150,6 +156,7 @@ func TestPartitioningInvariance(t *testing.T) {
 }
 
 func TestEmitPieces(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store := testStore(2)
 	opt := baseOptions(4, 1)
 	opt.EmitPieces = true
@@ -192,6 +199,7 @@ func TestEmitPieces(t *testing.T) {
 // Pieces reassembled must equal the assembled image from a separate
 // run with identical options.
 func TestPiecesMatchAssembled(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	mk := func(emit bool) []*Frame {
 		store := testStore(1)
 		opt := baseOptions(8, 1)
@@ -225,6 +233,7 @@ func TestPiecesMatchAssembled(t *testing.T) {
 }
 
 func TestSinkErrorPropagates(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store := testStore(2)
 	boom := fmt.Errorf("sink failed")
 	_, err := Run(store, baseOptions(2, 1), func(f *Frame) error { return boom })
@@ -234,6 +243,7 @@ func TestSinkErrorPropagates(t *testing.T) {
 }
 
 func TestGroupSizes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	got := GroupSizes(16)
 	want := []int{1, 2, 4, 8, 16}
 	if len(got) != len(want) {
@@ -254,6 +264,7 @@ func TestGroupSizes(t *testing.T) {
 }
 
 func TestIsPow2(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	for _, v := range []int{1, 2, 4, 1024} {
 		if !IsPow2(v) {
 			t.Fatalf("IsPow2(%d) = false", v)
@@ -267,6 +278,7 @@ func TestIsPow2(t *testing.T) {
 }
 
 func TestCustomCamera(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store := testStore(2)
 	opt := baseOptions(2, 1)
 	calls := 0
@@ -298,6 +310,7 @@ func BenchmarkPipeline4x2(b *testing.B) {
 // the leader-scatter path, over both a generator store and a real
 // dataset file.
 func TestRegionInputMatchesScatter(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const steps = 2
 	dir := t.TempDir()
 	path := filepath.Join(dir, "jet.tvv")
@@ -344,6 +357,7 @@ func TestRegionInputMatchesScatter(t *testing.T) {
 }
 
 func TestRegionInputRequiresRegionStore(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	opt := baseOptions(2, 1)
 	opt.RegionInput = true
 	_, err := Run(plainStore{testStore(1)}, opt, nil)
@@ -361,6 +375,7 @@ func (p plainStore) Fetch(t int) (*vol.Volume, error) { return p.s.Fetch(t) }
 
 // Accelerated pipelined rendering must match the unaccelerated result.
 func TestAccelPipelineMatches(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	run := func(accel bool) *img.RGBA {
 		store := testStore(1)
 		opt := baseOptions(4, 1)

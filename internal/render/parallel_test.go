@@ -110,6 +110,53 @@ func TestWorkersValidation(t *testing.T) {
 	}
 }
 
+// TileDone must report every scanline exactly once — serial and
+// parallel — and must not perturb the rendered pixels (the DFB
+// compositor ships tiles straight off this callback).
+func TestTileDoneCoverageAndIdentity(t *testing.T) {
+	v := testVolume(t)
+	cam, _ := NewOrbitCamera(v.Dims, 0.5, 0.3, 1.6)
+	const W, H = 32, 33
+	plain := DefaultOptions()
+	plain.Workers = 1
+	ref := img.NewRGBA(W, H)
+	if _, err := RenderRegion(WholeVolume(v), v.Bounds(), cam, tf.Jet(), plain, ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var mu sync.Mutex
+			seen := make([]int, H)
+			opt := DefaultOptions()
+			opt.Workers = workers
+			opt.TileDone = func(y0, y1 int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if y0 < 0 || y1 > H || y0 >= y1 {
+					t.Errorf("bad band [%d,%d)", y0, y1)
+				}
+				for y := y0; y < y1; y++ {
+					seen[y]++
+				}
+			}
+			got := img.NewRGBA(W, H)
+			if _, err := RenderRegion(WholeVolume(v), v.Bounds(), cam, tf.Jet(), opt, got); err != nil {
+				t.Fatal(err)
+			}
+			for y, n := range seen {
+				if n != 1 {
+					t.Fatalf("row %d reported done %d times", y, n)
+				}
+			}
+			for i := range ref.Pix {
+				if got.Pix[i] != ref.Pix[i] {
+					t.Fatalf("pixel float %d differs with TileDone hook", i)
+				}
+			}
+		})
+	}
+}
+
 // The tile observer must see every scanline exactly once and observe
 // the configured worker count.
 func TestTileObserverCoverage(t *testing.T) {

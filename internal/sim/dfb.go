@@ -1,0 +1,285 @@
+// Barrier vs tile-ownership compositing at cluster scale: an
+// event-driven model of the composite.DFB against the binary-swap
+// barrier, for node counts far beyond what the in-process harness can
+// run for real (64-512 modelled nodes). The model captures the two
+// effects the refactor is about:
+//
+//   - overlap: a DFB fragment leaves the moment its scanline band is
+//     rendered, so most tiles finish compositing in the shadow of the
+//     stragglers' rendering; the barrier cannot start until the LAST
+//     rank has rendered its whole partial image.
+//
+//   - footprint sparsity: a brick projects onto a small slice of the
+//     screen, so most (tile, rank) fragments are 16-byte transparency
+//     markers rather than pixel payloads; binary-swap always exchanges
+//     dense half-regions.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// DFBConfig parameterizes one barrier-vs-DFB comparison at a modelled
+// group size G.
+type DFBConfig struct {
+	// G is the modelled group (node) size. Power of two, so the
+	// binary-swap baseline is defined.
+	G int
+	// ImageW, ImageH set the framebuffer size; TileRows the DFB tile
+	// height in scanlines (0 = 8, composite.DefaultTileRows).
+	ImageW, ImageH, TileRows int
+	// T1Render is the single-node whole-frame render time; each rank
+	// renders 1/G of the work, spread by Imbalance.
+	T1Render time.Duration
+	// Imbalance is the max/mean per-rank render-work ratio (>= 1);
+	// 0 uses the package's mild default model.
+	Imbalance float64
+	// LinkBW (bytes/s) and LinkLatency model the point-to-point
+	// interconnect, exactly as Machine does for binary-swap.
+	LinkBW      float64
+	LinkLatency time.Duration
+	// BlendSecPerByte is the over-operator cost per blended byte.
+	BlendSecPerByte float64
+	// DepthComplexity is the average number of bricks a view ray
+	// pierces — the number of non-empty fragments a screen tile
+	// collects. 0 derives cbrt(G), the kd-decomposition depth of a
+	// cubical volume.
+	DepthComplexity float64
+	// Seed varies the deterministic placement hash.
+	Seed uint64
+}
+
+func (c *DFBConfig) withDefaults() error {
+	if c.G < 2 || c.G&(c.G-1) != 0 {
+		return fmt.Errorf("sim: dfb G=%d must be a power of two >= 2", c.G)
+	}
+	if c.ImageW < 1 || c.ImageH < 1 {
+		return fmt.Errorf("sim: dfb image %dx%d", c.ImageW, c.ImageH)
+	}
+	if c.TileRows == 0 {
+		c.TileRows = 8
+	}
+	if c.TileRows < 0 {
+		return fmt.Errorf("sim: dfb tile rows %d", c.TileRows)
+	}
+	if c.T1Render <= 0 {
+		return fmt.Errorf("sim: dfb T1Render %v", c.T1Render)
+	}
+	if c.LinkBW <= 0 {
+		return fmt.Errorf("sim: dfb link bandwidth %v", c.LinkBW)
+	}
+	if c.Imbalance == 0 {
+		c.Imbalance = defaultImbalance(c.G)
+	}
+	if c.Imbalance < 1 {
+		return fmt.Errorf("sim: dfb imbalance %v < 1", c.Imbalance)
+	}
+	if c.BlendSecPerByte < 0 {
+		return fmt.Errorf("sim: dfb blend cost %v", c.BlendSecPerByte)
+	}
+	if c.DepthComplexity == 0 {
+		c.DepthComplexity = math.Cbrt(float64(c.G))
+	}
+	return nil
+}
+
+// DFBResult reports one barrier-vs-DFB comparison.
+type DFBResult struct {
+	G        int
+	NumTiles int
+	// MaxRender is when the slowest rank finishes rendering — the
+	// earliest instant the barrier compositor can begin, and the
+	// reference point of both critical paths.
+	MaxRender time.Duration
+	// BarrierCritical is the binary-swap + final-gather time after
+	// MaxRender.
+	BarrierCritical time.Duration
+	// DFBCritical is the time after MaxRender until the last DFB tile
+	// is merged (the non-overlapped compositing tail).
+	DFBCritical time.Duration
+	// Overlap is the fraction of tiles fully merged before their
+	// owner finished rendering — what composite.DFB.Overlap measures.
+	Overlap float64
+	// BarrierBytes and DFBBytes count compositing bytes on the wire.
+	BarrierBytes int64
+	DFBBytes     int64
+}
+
+// hash01 is a deterministic splitmix64-style hash onto [0,1) — the
+// model's only source of placement variation (no global RNG state, so
+// identical configs give identical results).
+func hash01(seed, x uint64) float64 {
+	z := seed + x*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// dfbFrag is one (contributor, tile) fragment departure.
+type dfbFrag struct {
+	rank, tile int
+	depart     float64 // seconds: when the contributor posts it
+	bytes      float64
+	empty      bool
+}
+
+// SimulateDFB runs the comparison for one config.
+//
+// Barrier model: after the slowest rank renders, log2(G) binary-swap
+// stages (latency + half-the-remaining-region transfer + blend) plus
+// the final gather of G dense pieces into the root.
+//
+// DFB model: each rank renders its scanline bands top to bottom and
+// posts every tile's fragment the moment its rows are done — a pixel
+// payload if the rank's screen footprint covers the tile, a 16-byte
+// marker otherwise. Fragments serialize through the sender's and the
+// owner's NIC (one wire each way, latency in between); an owner
+// merges a tile as soon as its last fragment arrives, one merge at a
+// time. The critical path is the merge tail left after the slowest
+// render; tiles merged before their owner finished rendering count
+// toward overlap.
+func SimulateDFB(cfg DFBConfig) (DFBResult, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return DFBResult{}, err
+	}
+	g := cfg.G
+	numTiles := (cfg.ImageH + cfg.TileRows - 1) / cfg.TileRows
+	imageBytes := float64(cfg.ImageW * cfg.ImageH * 16) // 4 float32s per pixel
+	tileBytes := imageBytes / float64(numTiles)
+	lat := cfg.LinkLatency.Seconds()
+
+	// Per-rank render completion: mean T1/G, spread so the slowest
+	// rank carries Imbalance times the mean.
+	renderEnd := make([]float64, g)
+	maxRender := 0.0
+	mean := cfg.T1Render.Seconds() / float64(g)
+	for r := 0; r < g; r++ {
+		f := 1 + (cfg.Imbalance-1)*hash01(cfg.Seed, uint64(r)+1)
+		if r == g-1 {
+			f = cfg.Imbalance // pin one true straggler
+		}
+		renderEnd[r] = mean * f
+		maxRender = math.Max(maxRender, renderEnd[r])
+	}
+
+	// Barrier critical path: binary-swap stages + dense final gather,
+	// all strictly after maxRender.
+	barrier := 0.0
+	remaining := imageBytes
+	stages := int(math.Log2(float64(g)))
+	for s := 0; s < stages; s++ {
+		remaining /= 2
+		barrier += lat + remaining/cfg.LinkBW + cfg.BlendSecPerByte*remaining
+	}
+	pieceBytes := imageBytes / float64(g)
+	barrier += lat + float64(g-1)*pieceBytes/cfg.LinkBW
+	var barrierBytes int64
+	rem := imageBytes
+	for s := 0; s < stages; s++ {
+		rem /= 2
+		barrierBytes += int64(float64(g) * rem)
+	}
+	barrierBytes += int64(float64(g-1) * pieceBytes)
+
+	// DFB fragments: rank r's screen footprint is a contiguous band of
+	// tiles (a brick projects onto a slice of the screen) of height
+	// DepthComplexity/G of the image — so a tile collects on average
+	// DepthComplexity pixel fragments and G minus that many markers.
+	span := int(math.Round(float64(numTiles) * cfg.DepthComplexity / float64(g)))
+	span = max(1, min(span, numTiles))
+	frags := make([]dfbFrag, 0, g*numTiles)
+	var dfbBytes int64
+	for r := 0; r < g; r++ {
+		start := int(hash01(cfg.Seed^0xabcd, uint64(r)+1) * float64(numTiles-span+1))
+		for ti := 0; ti < numTiles; ti++ {
+			empty := ti < start || ti >= start+span
+			b := tileBytes
+			if empty {
+				b = 16
+			}
+			// Bands render top to bottom: tile ti's rows are final at
+			// the (ti+1)/numTiles point of this rank's render.
+			frags = append(frags, dfbFrag{
+				rank: r, tile: ti,
+				depart: renderEnd[r] * float64(ti+1) / float64(numTiles),
+				bytes:  b, empty: empty,
+			})
+			if owner := ti % g; owner != r {
+				dfbBytes += int64(b)
+			}
+		}
+	}
+	sort.Slice(frags, func(i, j int) bool {
+		a, b := frags[i], frags[j]
+		if a.depart != b.depart {
+			return a.depart < b.depart
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.tile < b.tile
+	})
+
+	// Route every fragment through the sender's and owner's NIC.
+	outFree := make([]float64, g)
+	inFree := make([]float64, g)
+	lastArrive := make([]float64, numTiles)
+	pixFrags := make([]int, numTiles)
+	for _, f := range frags {
+		owner := f.tile % g
+		var arrive float64
+		if owner == f.rank {
+			arrive = f.depart // own fragment: no wire
+		} else {
+			sendEnd := math.Max(f.depart, outFree[f.rank]) + f.bytes/cfg.LinkBW
+			outFree[f.rank] = sendEnd
+			recvEnd := math.Max(sendEnd+lat, inFree[owner]) + f.bytes/cfg.LinkBW
+			inFree[owner] = recvEnd
+			arrive = recvEnd
+		}
+		lastArrive[f.tile] = math.Max(lastArrive[f.tile], arrive)
+		if !f.empty {
+			pixFrags[f.tile]++
+		}
+	}
+
+	// Owners merge tiles one at a time, in arrival order, as soon as
+	// the last fragment lands.
+	type readyTile struct {
+		tile  int
+		ready float64
+	}
+	byOwner := make([][]readyTile, g)
+	for ti := 0; ti < numTiles; ti++ {
+		o := ti % g
+		byOwner[o] = append(byOwner[o], readyTile{ti, lastArrive[ti]})
+	}
+	dfbEnd, earlyTiles := 0.0, 0
+	for o, owned := range byOwner {
+		sort.Slice(owned, func(i, j int) bool { return owned[i].ready < owned[j].ready })
+		free := 0.0
+		for _, rt := range owned {
+			mergeEnd := math.Max(rt.ready, free) + cfg.BlendSecPerByte*tileBytes*float64(pixFrags[rt.tile])
+			free = mergeEnd
+			if mergeEnd <= renderEnd[o] {
+				earlyTiles++
+			}
+			dfbEnd = math.Max(dfbEnd, mergeEnd)
+		}
+	}
+
+	return DFBResult{
+		G:               g,
+		NumTiles:        numTiles,
+		MaxRender:       secDur(maxRender),
+		BarrierCritical: secDur(barrier),
+		DFBCritical:     secDur(math.Max(0, dfbEnd-maxRender)),
+		Overlap:         float64(earlyTiles) / float64(numTiles),
+		BarrierBytes:    barrierBytes,
+		DFBBytes:        dfbBytes,
+	}, nil
+}

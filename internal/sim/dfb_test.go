@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func rwcpDFB(g int) DFBConfig {
+	return DFBConfig{
+		G: g, ImageW: 512, ImageH: 512, TileRows: 8,
+		T1Render:        8 * time.Second,
+		LinkBW:          60e6,
+		LinkLatency:     30 * time.Microsecond,
+		BlendSecPerByte: 2e-9,
+	}
+}
+
+func TestSimulateDFBValidation(t *testing.T) {
+	bad := []DFBConfig{
+		{},
+		rwcpDFB(3),  // not a power of two
+		rwcpDFB(-4), // negative
+	}
+	badRows := rwcpDFB(8)
+	badRows.TileRows = -1
+	badImb := rwcpDFB(8)
+	badImb.Imbalance = 0.5
+	bad = append(bad, badRows, badImb)
+	for i, c := range bad {
+		if _, err := SimulateDFB(c); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSimulateDFBDeterministic(t *testing.T) {
+	a, err := SimulateDFB(rwcpDFB(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateDFB(rwcpDFB(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("model not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// The refactor's scaling claim: at 64-512 modelled nodes the DFB's
+// post-render compositing tail is shorter than the barrier's, it
+// overlaps a real fraction of rendering, and footprint sparsity moves
+// fewer bytes.
+func TestSimulateDFBBeatsBarrierAtScale(t *testing.T) {
+	for _, g := range []int{64, 128, 256, 512} {
+		r, err := SimulateDFB(rwcpDFB(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DFBCritical >= r.BarrierCritical {
+			t.Errorf("G=%d: DFB tail %v >= barrier %v", g, r.DFBCritical, r.BarrierCritical)
+		}
+		if r.Overlap <= 0 || r.Overlap > 1 {
+			t.Errorf("G=%d: overlap %v out of (0,1]", g, r.Overlap)
+		}
+		if r.DFBBytes >= r.BarrierBytes {
+			t.Errorf("G=%d: DFB bytes %d >= barrier bytes %d", g, r.DFBBytes, r.BarrierBytes)
+		}
+		if r.MaxRender <= 0 || r.NumTiles != 64 {
+			t.Errorf("G=%d: result %+v", g, r)
+		}
+		t.Logf("G=%3d: barrier %8v  dfb %8v  overlap %.2f  bytes %.1fx",
+			g, r.BarrierCritical, r.DFBCritical, r.Overlap,
+			float64(r.BarrierBytes)/float64(r.DFBBytes))
+	}
+}
+
+// The CI gate's threshold: at 256 modelled RWCP nodes at least a fifth
+// of the tiles must composite in rendering's shadow.
+func TestSimulateDFBOverlapAt256(t *testing.T) {
+	r, err := SimulateDFB(rwcpDFB(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Overlap < 0.2 {
+		t.Fatalf("overlap %v < 0.2 at G=256", r.Overlap)
+	}
+}
