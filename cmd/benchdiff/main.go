@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -76,10 +77,15 @@ func main() {
 	for _, p := range base.Codecs {
 		baseCodecs[p.Codec] = p
 	}
+	var newCodecs []string
 	for _, p := range cur.Codecs {
 		bp, ok := baseCodecs[p.Codec]
 		if !ok {
-			continue // new codec: nothing to regress against
+			// A codec present only in the current run is a new family,
+			// not a regression: it enters the baseline when the
+			// baseline file is next regenerated.
+			newCodecs = append(newCodecs, p.Codec)
+			continue
 		}
 		if worse(p.EncodeAllocsPer, bp.EncodeAllocsPer) {
 			fail("codec %s encode allocs/op: %.1f -> %.1f", p.Codec, bp.EncodeAllocsPer, p.EncodeAllocsPer)
@@ -122,6 +128,9 @@ func main() {
 	}
 
 	fmt.Printf("benchdiff: baseline %s vs current %s (tol %.0f%%)\n", *baselinePath, *currentPath, *tol*100)
+	if len(newCodecs) > 0 {
+		fmt.Printf("  new codecs not in baseline (reported, not gated): %s\n", strings.Join(newCodecs, ", "))
+	}
 	if baseSolo {
 		fmt.Println("  baseline annotated single-core: worker-scaling comparison skipped")
 	}

@@ -9,8 +9,8 @@
 //	                               # in a Perfetto/chrome://tracing viewer
 //
 // Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
-// datasets, hybrid, trace, pipeline, adaptive, faults, perf, relay,
-// status, overload, dfb, all.
+// datasets, hybrid, trace, pipeline, adaptive, codec, faults, perf,
+// relay, status, overload, dfb, all.
 //
 //	paperbench -exp dfb -json BENCH_dfb.json
 //	                               # tile-ownership (DFB) vs binary-swap
@@ -27,6 +27,13 @@
 //	                               # loopback relay tree with one
 //	                               # impaired link; the provenance
 //	                               # collector must attribute it
+//	paperbench -exp codec -json BENCH_codec.json
+//	                               # compression-ladder evaluation:
+//	                               # ratio / throughput / error bound
+//	                               # per rung, jls-vs-lzo/bzip
+//	                               # contrasts, progressive preview
+//	                               # cost on the Japan link; CI gates
+//	                               # on the acceptance booleans
 //	paperbench -exp overload -json BENCH_overload.json
 //	                               # chaos soak: client flood + faults
 //	                               # under a small memory budget; CI
@@ -44,7 +51,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,faults,perf,relay,status,overload,dfb,all)")
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,datasets,hybrid,trace,pipeline,adaptive,codec,faults,perf,relay,status,overload,dfb,all)")
 	quick := flag.Bool("quick", false, "reduced sizes and accelerated links")
 	jsonPath := flag.String("json", "", "write results as JSON (experiment id -> values) to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON from tracing experiments to this file")
@@ -67,6 +74,7 @@ func main() {
 		"trace":    wrap(ctx.Trace),
 		"pipeline": wrap(ctx.Pipeline),
 		"adaptive": wrap(ctx.Adaptive),
+		"codec":    wrap(ctx.Codec),
 		"faults":   wrap(ctx.Faults),
 		"perf":     wrap(ctx.Perf),
 		"relay":    wrap(ctx.Relay),
@@ -74,7 +82,7 @@ func main() {
 		"overload": wrap(ctx.Overload),
 		"dfb":      wrap(ctx.DFB),
 	}
-	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "faults", "perf", "relay", "status", "overload", "dfb"}
+	order := []string{"table1", "fig6", "fig7", "fig8", "table2", "fig9", "fig10", "fig11", "datasets", "hybrid", "trace", "pipeline", "adaptive", "codec", "faults", "perf", "relay", "status", "overload", "dfb"}
 
 	var todo []string
 	switch *exp {

@@ -1,14 +1,18 @@
 // Package codecs wires the concrete compressors into the compress
 // registry under the names the paper's Table 1 uses: raw, lzo, bzip,
-// jpeg, jpeg+lzo, jpeg+bzip. Importing this package (usually blank)
-// makes compress.ByName work for all of them.
+// jpeg, jpeg+lzo, jpeg+bzip — plus the post-paper ladder extensions
+// jls (JPEG-LS-style near-lossless prediction) and prog (progressive
+// wavelet refinement). Importing this package (usually blank) makes
+// compress.ByName work for all of them.
 package codecs
 
 import (
 	"repro/internal/compress"
 	"repro/internal/compress/bzp"
+	"repro/internal/compress/jls"
 	"repro/internal/compress/jpegc"
 	"repro/internal/compress/lzo"
+	"repro/internal/compress/prog"
 )
 
 // Quality is the JPEG quality used by registry-constructed codecs; the
@@ -34,12 +38,21 @@ func init() {
 	compress.Register("jpeg+bzip", func() (compress.FrameCodec, error) {
 		return compress.Chain{F: jpegc.Codec{Quality: Quality}, B: bzp.Codec{}}, nil
 	})
+	// Registry instances are the lossless defaults (NEAR=0, all
+	// passes); the quality ladder constructs bounded/truncated
+	// variants directly via stream.Point.
+	compress.Register("jls", func() (compress.FrameCodec, error) {
+		return jls.Codec{}, nil
+	})
+	compress.Register("prog", func() (compress.FrameCodec, error) {
+		return prog.Codec{}, nil
+	})
 }
 
 // All returns one constructed instance of every registered codec, in
-// the paper's Table 1 row order.
+// the paper's Table 1 row order followed by the ladder extensions.
 func All() ([]compress.FrameCodec, error) {
-	names := []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"}
+	names := []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip", "jls", "prog"}
 	out := make([]compress.FrameCodec, 0, len(names))
 	for _, n := range names {
 		c, err := compress.ByName(n)

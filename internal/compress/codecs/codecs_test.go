@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/compress"
+	"repro/internal/compress/jls"
+	"repro/internal/compress/prog"
 	"repro/internal/img"
 )
 
@@ -26,10 +28,10 @@ func TestAllRegistered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 6 {
+	if len(all) != 8 {
 		t.Fatalf("got %d codecs", len(all))
 	}
-	wantNames := []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"}
+	wantNames := []string{"raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip", "jls", "prog"}
 	for i, c := range all {
 		if c.Name() != wantNames[i] {
 			t.Fatalf("codec %d named %q, want %q", i, c.Name(), wantNames[i])
@@ -45,7 +47,7 @@ func TestByNameUnknown(t *testing.T) {
 
 func TestLosslessCodecsRoundTripExactly(t *testing.T) {
 	f := renderedStyleFrame(96)
-	for _, name := range []string{"raw", "lzo", "bzip"} {
+	for _, name := range []string{"raw", "lzo", "bzip", "jls", "prog"} {
 		c, err := compress.ByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -117,6 +119,71 @@ func TestTable1SizeOrdering(t *testing.T) {
 	}
 	if size["jpeg+lzo"] >= size["jpeg"] {
 		t.Fatalf("two-phase did not help: jpeg %d, jpeg+lzo %d", size["jpeg"], size["jpeg+lzo"])
+	}
+}
+
+// TestJlsBeatsLzoRatio pins the ladder-placement claim: on
+// rendered-style content, jls at NEAR 0/2/4 always produces fewer
+// bytes than LZO (the codec it outranks in the quality ladder).
+func TestJlsBeatsLzoRatio(t *testing.T) {
+	f := renderedStyleFrame(256)
+	lzoC, err := compress.ByName("lzo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lzoData, err := lzoC.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, near := range []int{0, 2, 4} {
+		data, err := (jls.Codec{Near: near}).EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) >= len(lzoData) {
+			t.Fatalf("jls near=%d %d bytes >= lzo %d", near, len(data), len(lzoData))
+		}
+		got, err := (jls.Codec{}).DecodeFrame(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.Pix {
+			d := int(f.Pix[i]) - int(got.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > near {
+				t.Fatalf("near=%d: pixel byte %d off by %d", near, i, d)
+			}
+		}
+	}
+}
+
+// TestProgPreviewFraction pins the progressive claim: the first pass
+// alone decodes and costs at most 25% of the full stream.
+func TestProgPreviewFraction(t *testing.T) {
+	f := renderedStyleFrame(256)
+	c, err := compress.ByName("prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preview, err := prog.Truncate(full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 4*len(preview) > len(full) {
+		t.Fatalf("preview %d bytes > 25%% of full %d", len(preview), len(full))
+	}
+	pf, err := c.DecodeFrame(preview)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := img.PSNR(f, pf); p < 20 {
+		t.Fatalf("preview PSNR %.1f dB not usable", p)
 	}
 }
 

@@ -1,0 +1,42 @@
+package jls
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Worker-scaling encode benchmark; SetBytes is the raw frame size so
+// ns/op converts to raw MB/s. On a multicore host the bands spread
+// across the pool; output is bit-identical at every width.
+func BenchmarkEncodeWorkers(b *testing.B) {
+	frame := renderedStyleFrame(256)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			c := Codec{Near: 2, Workers: workers}
+			b.SetBytes(int64(len(frame.Pix)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := c.EncodeFrame(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = data
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	frame := renderedStyleFrame(256)
+	data, err := (Codec{Near: 2}).EncodeFrame(frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame.Pix)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Codec{}).DecodeFrame(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package jls
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/img"
+)
+
+// renderedStyleFrame builds a frame with smooth gradients plus a
+// Gaussian blob — the statistics of a rendered volume frame, which is
+// what the predictor is tuned for.
+func renderedStyleFrame(n int) *img.Frame {
+	f := img.NewFrame(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			dx, dy := float64(x-n/2), float64(y-n/2)
+			g := math.Exp(-(dx*dx + dy*dy) / float64(n*n/8))
+			r := byte(float64(x) / float64(n) * 255)
+			gg := byte(g * 255)
+			b := byte(float64(y) / float64(n) * 255)
+			f.Set(x, y, r, gg, b)
+		}
+	}
+	return f
+}
+
+func noiseFrame(n int, seed int64) *img.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := img.NewFrame(n, n)
+	rng.Read(f.Pix)
+	return f
+}
+
+func TestLosslessRoundTrip(t *testing.T) {
+	for _, f := range []*img.Frame{
+		renderedStyleFrame(129), // non-multiple of BandRows, odd width
+		noiseFrame(64, 1),
+		img.NewFrame(1, 1),
+		img.NewFrame(3, 200), // many bands, tiny rows
+	} {
+		c := Codec{Near: 0}
+		data, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %dx%d: %v", f.W, f.H, err)
+		}
+		got, err := c.DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("decode %dx%d: %v", f.W, f.H, err)
+		}
+		if !got.Equal(f) {
+			t.Fatalf("%dx%d: lossless round trip diverged", f.W, f.H)
+		}
+	}
+}
+
+func TestNearBoundHolds(t *testing.T) {
+	for _, near := range []int{1, 2, 4, 8} {
+		for _, f := range []*img.Frame{renderedStyleFrame(100), noiseFrame(80, 2)} {
+			c := Codec{Near: near}
+			data, err := c.EncodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.DecodeFrame(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range f.Pix {
+				d := int(f.Pix[i]) - int(got.Pix[i])
+				if d < 0 {
+					d = -d
+				}
+				if d > near {
+					t.Fatalf("near=%d: pixel byte %d off by %d", near, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeBitIdenticalAcrossWorkers(t *testing.T) {
+	f := renderedStyleFrame(200) // 4 bands
+	ref, err := Codec{Near: 2, Workers: 1}.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8, 16} {
+		got, err := Codec{Near: 2, Workers: workers}.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: encode not bit-identical to serial", workers)
+		}
+	}
+}
+
+func TestBeatsRawOnRenderedFrames(t *testing.T) {
+	f := renderedStyleFrame(256)
+	data, err := Codec{}.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(f.Pix) {
+		t.Fatalf("lossless jls %d bytes >= raw %d on a rendered-style frame", len(data), len(f.Pix))
+	}
+	// Higher NEAR must not cost bytes.
+	prev := len(data)
+	for _, near := range []int{2, 4} {
+		d, err := Codec{Near: near}.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d) > prev {
+			t.Fatalf("near=%d grew the stream: %d > %d", near, len(d), prev)
+		}
+		prev = len(d)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	f := renderedStyleFrame(96)
+	data, err := Codec{}.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       data[:8],
+		"bad magic":   append([]byte("XXXX"), data[4:]...),
+		"no payload":  data[:headerLen],
+		"cut payload": data[:len(data)-7],
+		"extra tail":  append(bytes.Clone(data), 0, 1, 2),
+	}
+	for name, d := range cases {
+		if _, err := (Codec{}).DecodeFrame(d); err == nil {
+			t.Fatalf("%s: decode accepted corrupt stream", name)
+		}
+	}
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	frame := renderedStyleFrame(64)
+	seed, err := Codec{Near: 2}.EncodeFrame(frame)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte("JLS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic nor over-allocate; errors are fine.
+		out, err := Codec{}.DecodeFrame(data)
+		if err == nil && out != nil {
+			if out.W <= 0 || out.H <= 0 || len(out.Pix) != out.W*out.H*3 {
+				t.Fatalf("accepted stream produced malformed frame %dx%d", out.W, out.H)
+			}
+		}
+	})
+}

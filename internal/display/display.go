@@ -15,6 +15,7 @@ import (
 	// Register the full codec set: frames name their codec on the
 	// wire and the assembler resolves it by name.
 	_ "repro/internal/compress/codecs"
+	"repro/internal/compress/prog"
 	"repro/internal/img"
 	"repro/internal/obs/provenance"
 	"repro/internal/transport"
@@ -35,6 +36,18 @@ type Frame struct {
 	// Codec names the compression the frame arrived in (the adaptive
 	// broker varies this per client per frame).
 	Codec string
+	// Passes/TotalPasses describe progressive (prog codec) delivery:
+	// the same frame ID may be delivered more than once, each time
+	// reconstructed from more refinement passes. For non-progressive
+	// codecs both are zero.
+	Passes, TotalPasses int
+	// Final marks the last (or only) delivery of a frame ID;
+	// a progressive preview still awaiting refinement is not final.
+	Final bool
+	// Refinement marks a re-delivery of a frame ID already shown at
+	// lower fidelity — viewers refresh in place rather than counting
+	// a new frame.
+	Refinement bool
 }
 
 // Assembler turns incoming image messages into complete frames. It
@@ -49,6 +62,14 @@ type Assembler struct {
 	order   []uint32 // insertion order for eviction
 	lost    int
 
+	// progs holds per-frame progressive decoders: a prog frame's
+	// preview message opens one, refinement tails feed it, and
+	// completion (or eviction) closes it. An orphan tail — its
+	// preview lost or evicted upstream — is dropped and counted as
+	// lost, matching the transport's drop-and-continue contract.
+	progs     map[uint32]*progPartial
+	progOrder []uint32
+
 	codecCache map[string]compress.FrameCodec
 	// DecodeFast is recorded for decoders that honor a speed knob;
 	// kept here so a codec switch can re-resolve by name.
@@ -60,12 +81,20 @@ type partial struct {
 	need  int
 }
 
+type progPartial struct {
+	dec       *prog.Decoder
+	delivered bool
+	bytes     int
+	decode    time.Duration
+}
+
 // NewAssembler builds an assembler resolving codecs through
 // compress.ByName (override lookup in tests).
 func NewAssembler() *Assembler {
 	return &Assembler{
 		MaxInFlight: 4,
 		pending:     map[uint32]*partial{},
+		progs:       map[uint32]*progPartial{},
 		codecCache:  map[string]compress.FrameCodec{},
 		lookup:      compress.ByName,
 	}
@@ -91,10 +120,16 @@ func (a *Assembler) codec(name string) (compress.FrameCodec, error) {
 }
 
 // Ingest processes one image message; it returns the completed frame
-// when this piece was the last one, else nil.
+// when this piece was the last one, else nil. Progressive (prog)
+// frames may complete more than once: first as a preview, then as
+// refinements — the returned Frame's Refinement/Final flags say
+// which.
 func (a *Assembler) Ingest(m *transport.ImageMsg) (*Frame, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if m.Codec == "prog" && m.PieceCount <= 1 {
+		return a.ingestProgLocked(m)
+	}
 	c, err := a.codec(m.Codec)
 	if err != nil {
 		return nil, err
@@ -138,7 +173,89 @@ func (a *Assembler) Ingest(m *transport.ImageMsg) (*Frame, error) {
 	}
 	delete(a.pending, m.FrameID)
 	a.removeOrder(m.FrameID)
+	p.frame.Final = true
 	return p.frame, nil
+}
+
+// ingestProgLocked feeds one progressive chunk (preview head or
+// refinement tail) into the frame's incremental decoder. Malformed or
+// orphaned chunks are dropped and counted as lost rather than killing
+// the session: a refinement whose preview was evicted is an expected
+// race under pacer pressure, not a protocol violation.
+func (a *Assembler) ingestProgLocked(m *transport.ImageMsg) (*Frame, error) {
+	p, ok := a.progs[m.FrameID]
+	fresh := false
+	if !ok {
+		p = &progPartial{dec: prog.NewDecoder()}
+		fresh = true
+	}
+	t0 := time.Now()
+	im, err := p.dec.Add(m.Data)
+	p.decode += time.Since(t0)
+	if err != nil {
+		delete(a.progs, m.FrameID)
+		a.removeProgOrder(m.FrameID)
+		a.lost++
+		return nil, nil
+	}
+	p.bytes += len(m.Data)
+	if fresh {
+		a.progs[m.FrameID] = p
+		a.progOrder = append(a.progOrder, m.FrameID)
+		a.evictProgLocked()
+	}
+	if im == nil {
+		return nil, nil // mid-record: wait for more bytes
+	}
+	if im.W != int(m.W) || im.H != int(m.H) {
+		delete(a.progs, m.FrameID)
+		a.removeProgOrder(m.FrameID)
+		a.lost++
+		return nil, nil
+	}
+	fr := &Frame{
+		ID: m.FrameID, Image: im,
+		DecodeTime: p.decode, Bytes: p.bytes,
+		Pieces: 1, Codec: m.Codec,
+		Passes: p.dec.Passes(), TotalPasses: p.dec.TotalPasses(),
+		Final:      p.dec.Complete(),
+		Refinement: p.delivered,
+	}
+	p.decode = 0
+	p.delivered = true
+	if fr.Final {
+		delete(a.progs, m.FrameID)
+		a.removeProgOrder(m.FrameID)
+	}
+	return fr, nil
+}
+
+func (a *Assembler) evictProgLocked() {
+	max := a.MaxInFlight
+	if max <= 0 {
+		max = 4
+	}
+	for len(a.progs) > max {
+		victim := a.progOrder[0]
+		a.progOrder = a.progOrder[1:]
+		if p, ok := a.progs[victim]; ok {
+			delete(a.progs, victim)
+			// A never-delivered preview died unseen; a delivered one
+			// simply stops refining, which is not a loss.
+			if !p.delivered {
+				a.lost++
+			}
+		}
+	}
+}
+
+func (a *Assembler) removeProgOrder(id uint32) {
+	for i, v := range a.progOrder {
+		if v == id {
+			a.progOrder = append(a.progOrder[:i], a.progOrder[i+1:]...)
+			return
+		}
+	}
 }
 
 func (a *Assembler) evictLocked() {
@@ -200,7 +317,11 @@ type Viewer struct {
 
 // ViewerStats aggregates what the viewer saw.
 type ViewerStats struct {
-	Frames      int
+	Frames int
+	// Refinements counts progressive re-deliveries of frames already
+	// displayed at lower fidelity; they refresh in place and do not
+	// inflate Frames or the FPS figure.
+	Refinements int
 	Bytes       int64
 	DecodeTime  time.Duration
 	FirstFrame  time.Time
@@ -354,20 +475,39 @@ func (v *Viewer) loop() {
 			_ = v.ep.Send(transport.Message{Type: transport.MsgAck, Payload: ack.Marshal()})
 		}
 		v.mu.Lock()
-		if v.stats.Frames == 0 {
-			v.stats.FirstFrame = now
+		if fr.Refinement {
+			// A progressive refinement refreshes an already-counted
+			// frame: track it, but leave Frames/FPS honest.
+			v.stats.Refinements++
 		} else {
-			v.stats.interArrive = append(v.stats.interArrive, now.Sub(v.stats.LastFrame))
+			if v.stats.Frames == 0 {
+				v.stats.FirstFrame = now
+			} else {
+				v.stats.interArrive = append(v.stats.interArrive, now.Sub(v.stats.LastFrame))
+			}
+			v.stats.LastFrame = now
+			v.stats.Frames++
 		}
-		v.stats.LastFrame = now
-		v.stats.Frames++
 		v.stats.Bytes += int64(fr.Bytes)
 		v.stats.DecodeTime += fr.DecodeTime
 		depth := v.HistoryDepth
 		if depth > 0 {
-			v.history = append(v.history, fr)
-			if len(v.history) > depth {
-				v.history = v.history[len(v.history)-depth:]
+			replaced := false
+			if fr.Refinement {
+				// Review should return the sharpest copy we have.
+				for i := len(v.history) - 1; i >= 0; i-- {
+					if v.history[i].ID == fr.ID {
+						v.history[i] = fr
+						replaced = true
+						break
+					}
+				}
+			}
+			if !replaced {
+				v.history = append(v.history, fr)
+				if len(v.history) > depth {
+					v.history = v.history[len(v.history)-depth:]
+				}
 			}
 		}
 		v.mu.Unlock()

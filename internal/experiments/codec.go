@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/img"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/wan"
+)
+
+// CodecPoint is one operating point's measured outcome in the codec
+// ladder evaluation.
+type CodecPoint struct {
+	Point string `json:"point"`
+	Bytes int    `json:"bytes"`
+	// Ratio is raw bytes / encoded bytes (higher is better).
+	Ratio float64 `json:"ratio"`
+	// Encode/decode throughput over the raw pixel volume.
+	EncMBs float64 `json:"enc_mb_s"`
+	DecMBs float64 `json:"dec_mb_s"`
+	// MaxError is the measured per-channel reconstruction error bound;
+	// Near is the configured jls bound it must not exceed (0 for
+	// lossless and truncation-free points; progressive previews are
+	// unbounded by design and report the measured value only).
+	MaxError int  `json:"max_error"`
+	Near     int  `json:"near"`
+	Lossless bool `json:"lossless"`
+	// Progressive points: bytes of this truncation, as a fraction of
+	// the full stream, and the modeled time for those bytes to land on
+	// the calibrated Japan link (latency + bytes/bandwidth).
+	PreviewFraction float64 `json:"preview_fraction,omitempty"`
+	JapanS          float64 `json:"japan_s,omitempty"`
+}
+
+// CodecResult is the `-exp codec` evaluation: every ladder rung plus
+// the reference codecs on a rendered frame, with the PR's acceptance
+// contrasts extracted.
+type CodecResult struct {
+	Size     int          `json:"size"`
+	RawBytes int          `json:"raw_bytes"`
+	Points   []CodecPoint `json:"points"`
+	// jls must beat LZO's lossless ratio at every NEAR in {0,2,4}, and
+	// beat BZIP's encode throughput at NEAR 0.
+	LzoRatio         float64 `json:"lzo_ratio"`
+	JlsRatioN0       float64 `json:"jls_ratio_n0"`
+	JlsBeatsLzoRatio bool    `json:"jls_beats_lzo_ratio"`
+	BzipEncMBs       float64 `json:"bzip_enc_mb_s"`
+	JlsEncMBs        float64 `json:"jls_enc_mb_s"`
+	JlsBeatsBzipEnc  bool    `json:"jls_beats_bzip_enc"`
+	// NearBoundHolds: every jls point's measured error is within its
+	// configured NEAR, and every lossless point reconstructs exactly.
+	NearBoundHolds bool `json:"near_bound_holds"`
+	// Progressive preview: bytes to the first usable frame (the
+	// prog@p1 truncation), as a fraction of the full stream
+	// (acceptance: <= 0.25), and the modeled time for those bytes on
+	// the Japan link.
+	PreviewBytes    int     `json:"preview_bytes"`
+	PreviewFraction float64 `json:"preview_fraction"`
+	JapanPreviewS   float64 `json:"japan_preview_s"`
+	JapanFullS      float64 `json:"japan_full_s"`
+}
+
+// texturedFrame overlays deterministic value noise — amplitude amp,
+// lattice spacing step, bilinearly interpolated — on a rendered frame.
+// The result has fine-scale structure that is spatially correlated,
+// like the paper's full-resolution turbulence data, rather than iid.
+func texturedFrame(base *img.Frame, amp, step int) *img.Frame {
+	gw, gh := base.W/step+2, base.H/step+2
+	// One lattice per channel: a transfer function maps the same scalar
+	// to correlated but distinct R/G/B, so the byte stream must not
+	// repeat in exact 3-byte patterns (which LZO's dictionary would
+	// exploit in a way real renders do not allow).
+	grid := make([]int, 3*gw*gh)
+	state := uint32(0x9e3779b9)
+	for i := range grid {
+		state = state*1664525 + 1013904223
+		grid[i] = int(state>>24)%(2*amp+1) - amp
+	}
+	f := img.NewFrame(base.W, base.H)
+	for y := 0; y < base.H; y++ {
+		gy, fy := y/step, y%step
+		for x := 0; x < base.W; x++ {
+			gx, fx := x/step, x%step
+			i := (y*base.W + x) * 3
+			for ch := 0; ch < 3; ch++ {
+				g := grid[ch*gw*gh:]
+				g00 := g[gy*gw+gx]
+				g10 := g[gy*gw+gx+1]
+				g01 := g[(gy+1)*gw+gx]
+				g11 := g[(gy+1)*gw+gx+1]
+				top := g00*(step-fx) + g10*fx
+				bot := g01*(step-fx) + g11*fx
+				n := (top*(step-fy) + bot*fy) / (step * step)
+				p := int(base.Pix[i+ch]) + n
+				if p < 0 {
+					p = 0
+				} else if p > 255 {
+					p = 255
+				}
+				f.Pix[i+ch] = byte(p)
+			}
+		}
+	}
+	return f
+}
+
+// codecPoints is the measured set: the full default ladder plus the
+// reference codecs the acceptance contrasts need.
+func codecPoints() []stream.Point {
+	pts := []stream.Point{
+		{Codec: "raw"},
+		{Codec: "lzo"},
+		{Codec: "bzip"},
+		{Codec: "prog"}, // full stream: the denominator for preview fractions
+	}
+	return append(pts, stream.DefaultLadder()...)
+}
+
+// measureCodec times enc/dec over reps repetitions and verifies the
+// reconstruction bound.
+func measureCodec(p stream.Point, f *img.Frame, reps int) (*CodecPoint, error) {
+	codec, err := p.FrameCodec()
+	if err != nil {
+		return nil, err
+	}
+	data, err := codec.EncodeFrame(f)
+	if err != nil {
+		return nil, fmt.Errorf("%v encode: %w", p, err)
+	}
+	dec, err := codec.DecodeFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("%v decode: %w", p, err)
+	}
+	if dec.W != f.W || dec.H != f.H {
+		return nil, fmt.Errorf("%v decoded %dx%d, want %dx%d", p, dec.W, dec.H, f.W, f.H)
+	}
+	maxErr := 0
+	for i := range f.Pix {
+		d := int(f.Pix[i]) - int(dec.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	encT := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if _, err := codec.EncodeFrame(f); err != nil {
+			return nil, err
+		}
+		encT += time.Since(t0)
+	}
+	decT := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if _, err := codec.DecodeFrame(data); err != nil {
+			return nil, err
+		}
+		decT += time.Since(t0)
+	}
+	raw := float64(len(f.Pix))
+	mbs := func(total time.Duration) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return raw * float64(reps) / total.Seconds() / 1e6
+	}
+	return &CodecPoint{
+		Point:    p.String(),
+		Bytes:    len(data),
+		Ratio:    raw / float64(len(data)),
+		EncMBs:   mbs(encT),
+		DecMBs:   mbs(decT),
+		MaxError: maxErr,
+		Near:     p.Near,
+		Lossless: p.Codec != "jpeg" && p.Codec != "jpeg+lzo" && p.Codec != "jpeg+bzip" && p.Near == 0 && p.Passes == 0,
+	}, nil
+}
+
+// Codec evaluates the compression ladder end to end on a rendered
+// frame: ratio, throughput, and error bound per operating point, plus
+// the acceptance contrasts (jls vs lzo/bzip, progressive preview cost
+// on the Japan link).
+func (c *Context) Codec() (*CodecResult, error) {
+	size, reps := 512, 5
+	if c.Quick {
+		size, reps = 256, 2
+	}
+	base, err := c.frame("jet", size)
+	if err != nil {
+		return nil, err
+	}
+	// As in the adaptive experiment: the downscaled volumes render far
+	// smoother than the paper's full-resolution turbulence data, so the
+	// run-length-friendly background would dominate every contrast.
+	// Unlike detailFrame's white noise (the pathological worst case for
+	// predictive coding — no codec can predict iid samples), turbulence
+	// detail is spatially correlated, so the overlay here is value
+	// noise: deterministic noise on a coarse lattice, bilinearly
+	// interpolated to pixel scale.
+	f := texturedFrame(base, 24, 4)
+	res := &CodecResult{Size: size, RawBytes: len(f.Pix), NearBoundHolds: true}
+	japan := wan.JapanUCD()
+	var fullProg, lzoPt, bzipPt, jlsPt *CodecPoint
+	for _, p := range codecPoints() {
+		cp, err := measureCodec(p, f, reps)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case cp.Lossless && cp.MaxError != 0:
+			res.NearBoundHolds = false
+		case p.Codec == "jls" && cp.MaxError > p.Near:
+			res.NearBoundHolds = false
+		}
+		if p.Codec == "prog" {
+			cp.JapanS = japan.Latency.Seconds() + float64(cp.Bytes)/japan.Bandwidth
+			if p.Passes == 0 {
+				fullProg = cp
+			}
+		}
+		switch {
+		case p.Codec == "lzo":
+			lzoPt = cp
+		case p.Codec == "bzip":
+			bzipPt = cp
+		case p.Codec == "jls" && p.Near == 0:
+			jlsPt = cp
+		}
+		res.Points = append(res.Points, *cp)
+	}
+	if fullProg != nil {
+		for i := range res.Points {
+			cp := &res.Points[i]
+			if cp.JapanS > 0 {
+				cp.PreviewFraction = float64(cp.Bytes) / float64(fullProg.Bytes)
+			}
+			if cp.Point == "prog@p1" {
+				res.PreviewBytes = cp.Bytes
+				res.PreviewFraction = cp.PreviewFraction
+				res.JapanPreviewS = cp.JapanS
+			}
+		}
+		res.JapanFullS = fullProg.JapanS
+	}
+	res.LzoRatio = lzoPt.Ratio
+	res.JlsRatioN0 = jlsPt.Ratio
+	res.BzipEncMBs = bzipPt.EncMBs
+	res.JlsEncMBs = jlsPt.EncMBs
+	res.JlsBeatsBzipEnc = jlsPt.EncMBs > bzipPt.EncMBs
+	res.JlsBeatsLzoRatio = true
+	for _, p := range []string{"jls", "jls@n2", "jls@n4"} {
+		for _, cp := range res.Points {
+			if cp.Point == p && cp.Ratio <= lzoPt.Ratio {
+				res.JlsBeatsLzoRatio = false
+			}
+		}
+	}
+	c.printCodec(res)
+	return res, nil
+}
+
+func (c *Context) printCodec(res *CodecResult) {
+	c.printf("Codec ladder: %d^2 rendered jet frame, %d raw bytes\n", res.Size, res.RawBytes)
+	t := metrics.NewTable("point", "bytes", "ratio", "enc-MB/s", "dec-MB/s", "max-err", "japan-s")
+	for _, cp := range res.Points {
+		japan := "-"
+		if cp.JapanS > 0 {
+			japan = fmt.Sprintf("%.2f", cp.JapanS)
+		}
+		t.Row(cp.Point, fmt.Sprintf("%d", cp.Bytes), fmt.Sprintf("%.1f", cp.Ratio),
+			fmt.Sprintf("%.1f", cp.EncMBs), fmt.Sprintf("%.1f", cp.DecMBs),
+			fmt.Sprintf("%d", cp.MaxError), japan)
+	}
+	c.printf("%s", t.String())
+	c.printf("jls lossless ratio %.1f vs lzo %.1f (beats: %v); jls encode %.1f MB/s vs bzip %.1f MB/s (beats: %v)\n",
+		res.JlsRatioN0, res.LzoRatio, res.JlsBeatsLzoRatio, res.JlsEncMBs, res.BzipEncMBs, res.JlsBeatsBzipEnc)
+	c.printf("progressive preview: %.1f%% of the full stream; modeled japan-ucd first frame %.2fs (full stream %.2fs)\n\n",
+		100*res.PreviewFraction, res.JapanPreviewS, res.JapanFullS)
+}

@@ -265,6 +265,21 @@ func TestAdaptiveStreaming(t *testing.T) {
 		t.Fatalf("encode savings %.2fx (%d cached vs %d uncached), want >= 4x",
 			res.EncodeSavings, res.CacheEncodes, res.NoCacheEncodes)
 	}
+	// Acceptance: the cold-start preview probe paints the Japan link
+	// sub-second while the fixed lossless baseline needs seconds
+	// (wall-clock, so race runs only log it).
+	if raceEnabled {
+		t.Logf("race detector on: japan first frame %.2fs vs fixed %.2fs, assertion skipped",
+			res.JapanPreviewS, res.JapanFixedFirstS)
+	} else {
+		if res.JapanPreviewS <= 0 || res.JapanPreviewS >= 1 {
+			t.Errorf("japan adaptive first frame %.2fs, want sub-second", res.JapanPreviewS)
+		}
+		if res.JapanFixedFirstS < res.JapanPreviewS {
+			t.Errorf("fixed first frame %.2fs faster than adaptive %.2fs",
+				res.JapanFixedFirstS, res.JapanPreviewS)
+		}
+	}
 	// Slow clients under the fixed baseline shed frames instead of
 	// backlogging (the bound itself is asserted in the stream package).
 	for _, cl := range res.Fixed {
@@ -285,6 +300,50 @@ func TestAdaptiveStreaming(t *testing.T) {
 	for _, key := range []string{"japan_speedup", "encode_savings", "adaptive"} {
 		if !strings.Contains(string(data), key) {
 			t.Fatalf("JSON missing %q: %s", key, data)
+		}
+	}
+}
+
+func TestCodecLadder(t *testing.T) {
+	c, out := quickCtx()
+	res, err := c.Codec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size-denominated acceptance (deterministic, race-safe): error
+	// bounds hold, jls beats lzo's lossless ratio at every NEAR, the
+	// progressive preview is a small fraction of the full stream, and
+	// its modeled Japan-link time is sub-second.
+	if !res.NearBoundHolds {
+		t.Error("a codec exceeded its configured error bound")
+	}
+	if !res.JlsBeatsLzoRatio {
+		t.Errorf("jls ratio %.2f did not beat lzo %.2f", res.JlsRatioN0, res.LzoRatio)
+	}
+	if res.PreviewFraction <= 0 || res.PreviewFraction > 0.25 {
+		t.Errorf("preview fraction %.3f, want (0, 0.25]", res.PreviewFraction)
+	}
+	if res.JapanPreviewS <= 0 || res.JapanPreviewS >= 1 {
+		t.Errorf("modeled japan preview %.2fs, want sub-second", res.JapanPreviewS)
+	}
+	// Throughput contrast is wall-clock; only assert without the race
+	// detector's slowdown.
+	if raceEnabled {
+		t.Logf("race detector on: jls %.1f MB/s vs bzip %.1f MB/s, assertion skipped",
+			res.JlsEncMBs, res.BzipEncMBs)
+	} else if !res.JlsBeatsBzipEnc {
+		t.Errorf("jls encode %.1f MB/s did not beat bzip %.1f MB/s", res.JlsEncMBs, res.BzipEncMBs)
+	}
+	if !strings.Contains(out.String(), "jls lossless ratio") {
+		t.Fatalf("output missing summary: %s", out.String())
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"jls_beats_lzo_ratio", "preview_fraction", "japan_preview_s", "near_bound_holds"} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("JSON missing %q", key)
 		}
 	}
 }

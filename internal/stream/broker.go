@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compress/prog"
 	"repro/internal/display"
 	"repro/internal/guard"
 	"repro/internal/metrics"
@@ -760,6 +761,15 @@ func (b *Broker) sender(c *client) {
 			c.ctrl.SetFloor(b.gov.QualityFloor(c.ctrl.LadderLen()))
 		}
 		point := c.ctrl.Pick()
+		if c.est.Samples() == 0 && c.kind == transport.KindViewer {
+			// Cold start: no bandwidth evidence yet, and this could be a
+			// 45 KB/s transoceanic path. Ship the cheapest rung (the
+			// progressive preview on the default ladder) as a probe —
+			// the viewer gets a usable frame in well under a second on
+			// any calibrated link, and the send seeds the estimator so
+			// the next pick is informed.
+			point = c.ctrl.ProbePoint()
+		}
 		if b.cfg.FixedPoint != nil {
 			point = *b.cfg.FixedPoint
 		}
@@ -802,22 +812,20 @@ func (b *Broker) sender(c *client) {
 			})
 		}
 		c.ctrl.ObserveSize(point, len(data))
-		im := &transport.ImageMsg{
-			FrameID:    sf.ID,
-			PieceCount: 1,
-			X1:         uint16(sf.Image.W), Y1: uint16(sf.Image.H),
-			W: uint16(sf.Image.W), H: uint16(sf.Image.H),
-			Codec: point.Family(),
-			Data:  data,
+		// A full progressive frame goes out in two writes — the
+		// standalone preview pass, then the refinement tail — so the
+		// viewer paints a usable image from the first bytes and
+		// refines in place. Relays keep the single-message form:
+		// their dedup window marks a frame ID done once received,
+		// and they re-encode per downstream link anyway.
+		chunks := [...][]byte{data, nil}
+		nchunks := 1
+		if point.Codec == "prog" && point.Passes == 0 && c.kind != transport.KindRelay {
+			if head, tail, ok := prog.SplitPreview(data); ok {
+				chunks[0], chunks[1] = head, tail
+				nchunks = 2
+			}
 		}
-		// Reuse the sender's scratch: WriteMessage below completes
-		// before the next iteration rewrites it.
-		payload, err := im.AppendTo(c.marshalBuf[:0])
-		if err != nil {
-			b.log.Warnf("marshal frame %d: %v", sf.ID, err)
-			continue
-		}
-		c.marshalBuf = payload
 		c.sentMu.Lock()
 		c.sent[sf.ID] = time.Now()
 		// Bound the in-flight map: unacked frames older than the
@@ -830,42 +838,67 @@ func (b *Broker) sender(c *client) {
 			}
 		}
 		c.sentMu.Unlock()
-		out := transport.Message{Type: transport.MsgImage, Payload: payload}
-		if tc != nil {
-			// Forward the trace at the next hop ordinal; the v1/v2
-			// framer strips it for pre-trace clients.
-			fwd := *tc
-			fwd.Hop++
-			out.Trace = &fwd
-		}
-		t0 := time.Now()
-		endSend := tr.Begin(track, "stream", "send", "frame", sf.ID, "bytes", len(payload))
-		c.wmu.Lock()
-		err = c.fr.WriteMessage(c.conn, out)
-		c.wmu.Unlock()
-		if err != nil {
+		totalSent := 0
+		var sendTime time.Duration
+		marshalFailed := false
+		for ci := 0; ci < nchunks; ci++ {
+			im := &transport.ImageMsg{
+				FrameID:    sf.ID,
+				PieceCount: 1,
+				X1:         uint16(sf.Image.W), Y1: uint16(sf.Image.H),
+				W: uint16(sf.Image.W), H: uint16(sf.Image.H),
+				Codec: point.Family(),
+				Data:  chunks[ci],
+			}
+			// Reuse the sender's scratch: WriteMessage below completes
+			// before the next chunk rewrites it.
+			payload, err := im.AppendTo(c.marshalBuf[:0])
+			if err != nil {
+				b.log.Warnf("marshal frame %d: %v", sf.ID, err)
+				marshalFailed = true
+				break
+			}
+			c.marshalBuf = payload
+			out := transport.Message{Type: transport.MsgImage, Payload: payload}
+			if tc != nil {
+				// Forward the trace at the next hop ordinal; the v1/v2
+				// framer strips it for pre-trace clients.
+				fwd := *tc
+				fwd.Hop++
+				out.Trace = &fwd
+			}
+			t0 := time.Now()
+			endSend := tr.Begin(track, "stream", "send", "frame", sf.ID, "bytes", len(payload))
+			c.wmu.Lock()
+			err = c.fr.WriteMessage(c.conn, out)
+			c.wmu.Unlock()
 			endSend()
-			c.conn.Close()
-			return
+			if err != nil {
+				c.conn.Close()
+				return
+			}
+			sendTime += time.Since(t0)
+			totalSent += len(payload)
 		}
-		endSend()
+		if marshalFailed {
+			continue
+		}
 		if tc != nil {
 			b.prov.Load().Record(provenance.Event{
 				Trace: tc.TraceID, Frame: tc.FrameID, Hop: int(tc.Hop),
-				Event: provenance.EvSent, Bytes: len(payload), Link: c.remote,
+				Event: provenance.EvSent, Bytes: totalSent, Link: c.remote,
 			})
 		}
-		sendTime := time.Since(t0)
 		b.sendH.Load().ObserveDuration(sendTime)
 		now := time.Now().UnixNano()
 		if prev := b.lastOut.Swap(now); prev != 0 {
 			b.ifdH.Load().ObserveDuration(time.Duration(now - prev))
 		}
-		c.est.Observe(len(payload), sendTime)
+		c.est.Observe(totalSent, sendTime)
 		c.framesSent.Add(1)
-		c.bytesSent.Add(int64(len(payload)))
+		c.bytesSent.Add(int64(totalSent))
 		b.stats.FramesOut.Add(1)
-		b.stats.BytesOut.Add(int64(len(payload)))
+		b.stats.BytesOut.Add(int64(totalSent))
 		c.gauges.Set("bandwidth_Bps", c.est.Bandwidth())
 		c.gauges.Set("quality", float64(point.Quality))
 		c.gauges.Set("frame_bytes", float64(len(data)))

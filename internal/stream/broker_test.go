@@ -198,9 +198,11 @@ func TestBrokerAdaptsQualityToSlowLink(t *testing.T) {
 	b := stream.NewBroker(stream.Config{Target: target, QueueDepth: 2, CacheFrames: 4, UpHold: 3})
 	defer b.Close()
 
-	// The Japan–UCD profile: 45 KB/s. Noise frames at 128² are ~20 KB
-	// at the top rung — ~0.5 s per frame, so the controller must walk
-	// down the ladder to hold the 120 ms target.
+	// The Japan–UCD profile: 45 KB/s. Noise frames at 128² run tens
+	// of KB at the upper rungs — ~0.5–1 s per frame, so the
+	// controller must walk down the ladder (whose floor is the tiny
+	// prog preview pass) to hold the 120 ms target. Feed frames for
+	// ~1.5 s so the pacer gets enough send cycles after the walk.
 	slow := display.NewViewer(pipeConn(t, b, transport.RoleDisplay, wan.JapanUCD()))
 	go func() {
 		for range slow.Frames() {
@@ -208,7 +210,7 @@ func TestBrokerAdaptsQualityToSlowLink(t *testing.T) {
 	}()
 	rend := pipeConn(t, b, transport.RoleRenderer, wan.Profile{})
 	f := noiseFrame(128, 128)
-	sendFrames(t, rend, f, 30, 10*time.Millisecond)
+	sendFrames(t, rend, f, 60, 25*time.Millisecond)
 
 	top := stream.DefaultLadder()[0]
 	deadline := time.Now().Add(15 * time.Second)
@@ -366,4 +368,61 @@ func TestBrokerListenAndServeTCP(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("no frame over TCP broker")
 	}
+}
+
+// TestBrokerSplitsProgressiveSends: at a prog operating point the
+// broker ships each frame to viewers as a preview chunk followed by a
+// refinement tail, so the display paints early and refines in place.
+func TestBrokerSplitsProgressiveSends(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	fixed := stream.Point{Codec: "prog"}
+	b := stream.NewBroker(stream.Config{Target: 100 * time.Millisecond, FixedPoint: &fixed})
+	defer b.Close()
+
+	ep := pipeConn(t, b, transport.RoleDisplay, wan.Profile{})
+	v := display.NewViewer(ep)
+	deliveries := make(chan *display.Frame, 16)
+	go func() {
+		for fr := range v.Frames() {
+			deliveries <- fr
+		}
+	}()
+
+	rend := pipeConn(t, b, transport.RoleRenderer, wan.Profile{})
+	f := noiseFrame(32, 32)
+	const n = 3
+	sendFrames(t, rend, f, n, 20*time.Millisecond)
+
+	// Each frame arrives twice: preview then refinement.
+	var previews, refinements int
+	timeout := time.After(5 * time.Second)
+	for previews+refinements < 2*n {
+		select {
+		case fr := <-deliveries:
+			if fr.Refinement {
+				refinements++
+				if !fr.Final {
+					t.Fatalf("refinement not final: %+v", fr)
+				}
+				if !fr.Image.Equal(f) {
+					t.Fatal("refined frame must be lossless")
+				}
+			} else {
+				previews++
+				if fr.Final {
+					t.Fatalf("preview marked final: %+v", fr)
+				}
+			}
+		case <-timeout:
+			t.Fatalf("saw %d previews + %d refinements, want %d each", previews, refinements, n)
+		}
+	}
+	if previews != n || refinements != n {
+		t.Fatalf("previews=%d refinements=%d, want %d each", previews, refinements, n)
+	}
+	st := v.Stats()
+	if st.Frames != n || st.Refinements != n {
+		t.Fatalf("viewer stats %+v, want %d frames and %d refinements", st, n, n)
+	}
+	v.Close()
 }

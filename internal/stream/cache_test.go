@@ -208,3 +208,60 @@ func TestCacheConcurrentBumpAndEncode(t *testing.T) {
 		t.Fatalf("cache grew past capacity: %d", c.Len())
 	}
 }
+
+// TestCacheTruncationPassDistinctEntries is the regression test for
+// the progressive-codec cache key: a preview-only entry (prog@p1) and
+// the full-stream entry (prog) for the same frame are different bytes,
+// so Points differing only in Passes must never share a cache slot.
+// Mirrors TestCacheGenerationPreventsStaleHit for the Passes axis.
+func TestCacheTruncationPassDistinctEntries(t *testing.T) {
+	c := NewEncodeCache(4)
+	full := Point{Codec: "prog"}
+	preview := Point{Codec: "prog", Passes: 1}
+
+	fullData := []byte("all five passes of frame 0")
+	got, err := c.GetOrEncode(0, full, func() ([]byte, error) { return fullData, nil })
+	if err != nil || !bytes.Equal(got, fullData) {
+		t.Fatalf("prime full: got %q err %v", got, err)
+	}
+
+	// Requesting the preview truncation for the same frame must MISS:
+	// serving the full bytes here would defeat the preview rung.
+	prevData := []byte("pass 0 only")
+	encoded := false
+	got, err = c.GetOrEncode(0, preview, func() ([]byte, error) { encoded = true; return prevData, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !encoded {
+		t.Fatal("preview request hit the full-stream entry (Passes missing from cache key)")
+	}
+	if !bytes.Equal(got, prevData) {
+		t.Fatalf("preview request returned %q, want %q", got, prevData)
+	}
+
+	// Both entries are resident and each hits its own bytes.
+	for _, tc := range []struct {
+		p    Point
+		want []byte
+	}{{full, fullData}, {preview, prevData}} {
+		got, err := c.GetOrEncode(0, tc.p, func() ([]byte, error) { t.Fatalf("%v: unexpected re-encode", tc.p); return nil, nil })
+		if err != nil || !bytes.Equal(got, tc.want) {
+			t.Fatalf("%v: got %q err %v, want %q", tc.p, got, err, tc.want)
+		}
+	}
+	if m := c.Stats().Misses.Load(); m != 2 {
+		t.Fatalf("misses = %d, want 2 (one per distinct truncation)", m)
+	}
+
+	// The jls error bound is part of the key for the same reason.
+	n0 := []byte("jls lossless")
+	n2 := []byte("jls near-2")
+	if _, err := c.GetOrEncode(1, Point{Codec: "jls"}, func() ([]byte, error) { return n0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.GetOrEncode(1, Point{Codec: "jls", Near: 2}, func() ([]byte, error) { return n2, nil })
+	if err != nil || !bytes.Equal(got, n2) {
+		t.Fatalf("jls near bound shares a cache slot with lossless: got %q err %v", got, err)
+	}
+}

@@ -203,3 +203,14 @@ func (c *Controller) Current() Point {
 	defer c.mu.Unlock()
 	return c.ladder[c.cur]
 }
+
+// ProbePoint returns the cheapest ladder rung — the cold-start probe a
+// broker serves before any bandwidth evidence exists. On the default
+// ladder this is the progressive preview pass, so an unknown (possibly
+// transoceanic) link's first frame is a few hundred bytes: the viewer
+// paints almost immediately and the send itself seeds the estimator.
+func (c *Controller) ProbePoint() Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ladder[len(c.ladder)-1]
+}

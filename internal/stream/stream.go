@@ -31,27 +31,45 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/compress/bzp"
+	"repro/internal/compress/jls"
 	"repro/internal/compress/jpegc"
 	"repro/internal/compress/lzo"
+	"repro/internal/compress/prog"
 	"repro/internal/guard"
 )
 
-// Point is one encode operating point: a codec family plus, for the
-// JPEG-based families, the quality setting. It is the unit the
-// Controller selects and the EncodeCache keys on.
+// Point is one encode operating point: a codec family plus its
+// family-specific tuning (JPEG quality, jls error bound, prog
+// truncation pass). It is the unit the Controller selects and the
+// EncodeCache keys on.
 type Point struct {
 	// Codec is a registered codec family name (raw, lzo, bzip, jpeg,
-	// jpeg+lzo, jpeg+bzip).
+	// jpeg+lzo, jpeg+bzip, jls, prog).
 	Codec string
 	// Quality is the JPEG quality in 1..100; ignored by non-JPEG
 	// families.
 	Quality int
+	// Near is the jls per-pixel error bound (0 = lossless); ignored
+	// by other families.
+	Near int
+	// Passes, for the prog family, truncates the stream after that
+	// many refinement passes (0 = full stream). It is part of the
+	// cache key: a preview-only entry and a full-frame entry for the
+	// same frame are different bytes.
+	Passes int
 }
 
-// String renders the point for tables and cache keys.
+// String renders the point for tables and cache keys. Every field
+// that changes the encoded bytes must be visible here — the encode
+// cache keys on this string.
 func (p Point) String() string {
-	if p.Quality > 0 && strings.HasPrefix(p.Codec, "jpeg") {
+	switch {
+	case p.Quality > 0 && strings.HasPrefix(p.Codec, "jpeg"):
 		return fmt.Sprintf("%s@q%d", p.Codec, p.Quality)
+	case p.Codec == "jls" && p.Near > 0:
+		return fmt.Sprintf("%s@n%d", p.Codec, p.Near)
+	case p.Codec == "prog" && p.Passes > 0:
+		return fmt.Sprintf("%s@p%d", p.Codec, p.Passes)
 	}
 	return p.Codec
 }
@@ -71,24 +89,34 @@ func (p Point) FrameCodec() (compress.FrameCodec, error) {
 		return compress.Instrument(compress.Chain{F: jpegc.Codec{Quality: q}, B: lzo.Codec{}}), nil
 	case "jpeg+bzip":
 		return compress.Instrument(compress.Chain{F: jpegc.Codec{Quality: q}, B: bzp.Codec{}}), nil
+	case "jls":
+		return compress.Instrument(jls.Codec{Near: p.Near}), nil
+	case "prog":
+		return compress.Instrument(prog.Codec{Passes: p.Passes}), nil
 	}
 	return compress.ByName(p.Codec)
 }
 
 // DefaultLadder returns the broker's operating points, best quality
-// first. The top rung matches the paper's LAN setting (two-phase
-// JPEG+LZO at high quality); the lower rungs trade fidelity for frame
-// rate on links like the RWCP (Japan) to UC Davis path.
+// first. The top rung is lossless jls (better ratio than LZO at a
+// fraction of BZIP's CPU); the middle interleaves the paper's
+// two-phase JPEG+LZO with near-lossless jls bounds; the bottom rungs
+// are progressive-wavelet truncations — the floor ships only the
+// preview pass, so even the RWCP (Japan) to UC Davis path gets a
+// usable frame in under a second and refines when capacity allows.
 func DefaultLadder() []Point {
 	return []Point{
+		{Codec: "jls"},
 		{Codec: "jpeg+lzo", Quality: 85},
 		{Codec: "jpeg+lzo", Quality: 75},
+		{Codec: "jls", Near: 2},
 		{Codec: "jpeg+lzo", Quality: 60},
+		{Codec: "jls", Near: 4},
 		{Codec: "jpeg", Quality: 45},
 		{Codec: "jpeg", Quality: 30},
-		{Codec: "jpeg", Quality: 20},
-		{Codec: "jpeg", Quality: 10},
-		{Codec: "jpeg", Quality: 5},
+		{Codec: "prog", Passes: 3},
+		{Codec: "prog", Passes: 2},
+		{Codec: "prog", Passes: 1},
 	}
 }
 

@@ -122,6 +122,19 @@ func TestControllerRestrict(t *testing.T) {
 	if p := c.Pick(); p.Codec != "jpeg" {
 		t.Fatalf("after no-op restrict got %v", p)
 	}
+	// The new families restrict like any other: a renderer advertising
+	// only jls+prog keeps those rungs, best (lossless jls) first.
+	c2 := NewController(NewEstimator(0.5), 100*time.Millisecond, DefaultLadder(), 0.5, 3)
+	c2.Restrict([]string{"jls", "prog"})
+	if n := c2.LadderLen(); n != 6 {
+		t.Fatalf("jls+prog ladder has %d rungs, want 6", n)
+	}
+	if p := c2.Pick(); p.Codec != "jls" || p.Near != 0 {
+		t.Fatalf("restricted ladder top = %v, want lossless jls", p)
+	}
+	if p := c2.ProbePoint(); (p != Point{Codec: "prog", Passes: 1}) {
+		t.Fatalf("restricted probe = %v, want prog@p1", p)
+	}
 }
 
 func TestEncodeCacheSingleflight(t *testing.T) {
@@ -294,6 +307,10 @@ func TestPointString(t *testing.T) {
 		{Point{Codec: "jpeg+lzo", Quality: 85}, "jpeg+lzo@q85"},
 		{Point{Codec: "raw"}, "raw"},
 		{Point{Codec: "lzo", Quality: 50}, "lzo"},
+		{Point{Codec: "jls"}, "jls"},
+		{Point{Codec: "jls", Near: 2}, "jls@n2"},
+		{Point{Codec: "prog"}, "prog"},
+		{Point{Codec: "prog", Passes: 1}, "prog@p1"},
 	} {
 		if got := tc.p.String(); got != tc.want {
 			t.Errorf("%+v.String() = %q, want %q", tc.p, got, tc.want)
@@ -312,4 +329,22 @@ func ExamplePoint() {
 	p := Point{Codec: "jpeg+lzo", Quality: 85}
 	fmt.Println(p)
 	// Output: jpeg+lzo@q85
+}
+
+// TestLadderFloorIsProgressivePreview pins the degradation contract:
+// the guard's worst-case quality floor (LevelPacer and above maps to
+// ladderLen-1) must land on the prog preview rung, so an overloaded or
+// WAN-starved session still ships a usable first pass.
+func TestLadderFloorIsProgressivePreview(t *testing.T) {
+	lad := DefaultLadder()
+	bottom := lad[len(lad)-1]
+	if bottom.Codec != "prog" || bottom.Passes != 1 {
+		t.Fatalf("ladder floor = %v, want prog@p1 preview rung", bottom)
+	}
+	est := NewEstimator(0.5)
+	c := NewController(est, 100*time.Millisecond, lad, 0.5, 3)
+	c.SetFloor(c.LadderLen() - 1) // what broker does at guard.LevelPacer+
+	if p := c.Pick(); p != bottom {
+		t.Fatalf("floored controller picked %v, want %v", p, bottom)
+	}
 }
